@@ -1,0 +1,513 @@
+// Package vnfguard's root benchmark suite regenerates every experiment in
+// EXPERIMENTS.md (E1–E10). Each benchmark maps to one experiment row; see
+// DESIGN.md §4 for the experiment index. Benchmarks run under the default
+// literature-derived cost model (simtime.DefaultCosts) so that modeled
+// hardware costs — EPID quote generation, IAS WAN round trips, enclave
+// transitions, TPM quotes — shape the results as they would on a real
+// deployment.
+package vnfguard
+
+import (
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/core"
+	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/ima"
+	"vnfguard/internal/pki"
+	"vnfguard/internal/simtime"
+	"vnfguard/internal/vnf"
+)
+
+// benchModel returns the cost model under which the E-series runs.
+func benchModel() *simtime.CostModel { return simtime.DefaultCosts() }
+
+// newBenchDeployment builds a deployment with one deployed firewall VNF
+// and a learned golden baseline.
+func newBenchDeployment(b *testing.B, opts core.Options) *core.Deployment {
+	b.Helper()
+	if opts.Model == nil {
+		opts.Model = benchModel()
+	}
+	d, err := core.NewDeployment(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(d.Close)
+	if err := d.DeployVNF(0, "fw-0", "firewall"); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.LearnGolden(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkE1_WorkflowEndToEnd measures the full Figure-1 workflow: host
+// attestation (steps 1–2), VNF enclave attestation and provisioning
+// (steps 3–5), and the first authenticated controller session (step 6).
+func BenchmarkE1_WorkflowEndToEnd(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{
+		Mode: controller.ModeTrustedHTTPS, Trust: controller.TrustCA,
+		TLSMode: enclaveapp.TLSFullSession,
+	})
+	env := core.DefaultEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("fw-e1-%d", i)
+		b.StopTimer()
+		if err := d.DeployVNF(0, name, "firewall"); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.LearnGolden(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.VM.EnrollVNF(d.HostName(0), name); err != nil {
+			b.Fatal(err)
+		}
+		ce, err := d.Hosts[0].CredentialEnclave(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := vnf.NewInstance(core.StandardFirewall(name), ce, d.ControllerURL(), core.ServerName, env, enclaveapp.TLSFullSession)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := inst.Activate(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := inst.Deactivate(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE2_VNFAttestation measures use case 1 — the integrity
+// attestation of a VNF credential enclave: the RA key exchange including
+// quote generation and IAS validation (steps 3–4), without provisioning.
+func BenchmarkE2_VNFAttestation(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quote, err := d.VM.AttestVNF(d.HostName(0), "fw-0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if quote == nil {
+			b.Fatal("no quote")
+		}
+	}
+}
+
+// BenchmarkE3_Enrollment measures use case 2 — enrolling an attested VNF:
+// RA exchange plus credential generation and provisioning (steps 3–5).
+func BenchmarkE3_Enrollment(b *testing.B) {
+	for _, mode := range []enclaveapp.ProvisionMode{enclaveapp.ModeVMGenerated, enclaveapp.ModeCSR} {
+		b.Run(string(mode), func(b *testing.B) {
+			d := newBenchDeployment(b, core.Options{Provision: mode})
+			if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("fw-e3-%d", i)
+				b.StopTimer()
+				if err := d.DeployVNF(0, name, "firewall"); err != nil {
+					b.Fatal(err)
+				}
+				if err := d.LearnGolden(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := d.VM.EnrollVNF(d.HostName(0), name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4_SecurityModes measures north-bound REST latency across
+// Floodlight's three security modes, per-connection (handshake included)
+// and with keep-alive.
+func BenchmarkE4_SecurityModes(b *testing.B) {
+	type variant struct {
+		name  string
+		mode  controller.SecurityMode
+		trust controller.TrustModel
+	}
+	variants := []variant{
+		{"http", controller.ModeHTTP, controller.TrustCA},
+		{"https", controller.ModeHTTPS, controller.TrustCA},
+		{"trusted-https-ca", controller.ModeTrustedHTTPS, controller.TrustCA},
+		{"trusted-https-keystore", controller.ModeTrustedHTTPS, controller.TrustKeystore},
+	}
+	for _, v := range variants {
+		d := newBenchDeployment(b, core.Options{
+			Mode: v.mode, Trust: v.trust, TLSMode: enclaveapp.TLSKeyInEnclave,
+			Model: simtime.ZeroCosts(), // isolate transport cost
+		})
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			b.Fatal(err)
+		}
+		enr, err := d.VM.EnrollVNF(d.HostName(0), "fw-0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.trust == controller.TrustKeystore {
+			d.Server.PinCertificate(enr.Cert)
+		}
+		ce, err := d.Hosts[0].CredentialEnclave("fw-0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		mkClient := func() *controller.Client {
+			if v.mode == controller.ModeHTTP {
+				return controller.NewClient(d.ControllerURL(), nil)
+			}
+			cfg, err := ce.ClientTLSConfig(core.ServerName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return controller.NewClient(d.ControllerURL(), cfg)
+		}
+		b.Run(v.name+"/per-connection", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				client := mkClient()
+				if _, err := client.Summary(); err != nil {
+					b.Fatal(err)
+				}
+				client.CloseIdle()
+			}
+		})
+		b.Run(v.name+"/keep-alive", func(b *testing.B) {
+			client := mkClient()
+			defer client.CloseIdle()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Summary(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_EnclaveTLS measures the paper's deferred question: the
+// performance impact of TLS placement. Native (no enclave) vs private
+// key in enclave vs full session in enclave, for handshakes and bulk
+// transfer.
+func BenchmarkE5_EnclaveTLS(b *testing.B) {
+	model := benchModel()
+	d := newBenchDeployment(b, core.Options{Model: model})
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-0"); err != nil {
+		b.Fatal(err)
+	}
+	ce, err := d.Hosts[0].CredentialEnclave("fw-0")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Mutual-TLS echo server trusting the VM CA.
+	addr, stop := startEchoTLS(b, d.VM.CA())
+	defer stop()
+
+	// Native baseline: key held in untrusted memory.
+	nativeKey, err := pki.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	csr, err := pki.CreateCSR("native", nativeKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nativeCert, err := d.VM.CA().SignClientCSR(csr, time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nativeCfg := &tls.Config{
+		MinVersion: tls.VersionTLS12, RootCAs: d.VM.CA().Pool(), ServerName: core.ServerName,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{nativeCert.Raw}, PrivateKey: nativeKey}},
+	}
+	keyCfg, err := ce.ClientTLSConfig(core.ServerName)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	dialers := map[string]func() (net.Conn, error){
+		"native": func() (net.Conn, error) { return tls.Dial("tcp", addr, nativeCfg) },
+		"key-in-enclave": func() (net.Conn, error) {
+			return tls.Dial("tcp", addr, keyCfg)
+		},
+		"full-session-in-enclave": func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return ce.DialTLS(raw, core.ServerName)
+		},
+	}
+	for _, name := range []string{"native", "key-in-enclave", "full-session-in-enclave"} {
+		dial := dialers[name]
+		b.Run("handshake/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conn, err := dial()
+				if err != nil {
+					b.Fatal(err)
+				}
+				conn.Close()
+			}
+		})
+		for _, size := range []int{1 << 10, 64 << 10} {
+			payload := make([]byte, size)
+			b.Run(fmt.Sprintf("transfer-%dKiB/%s", size>>10, name), func(b *testing.B) {
+				conn, err := dial()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer conn.Close()
+				buf := make([]byte, size)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := conn.Write(payload); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := io.ReadFull(conn, buf); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// startEchoTLS runs a mutual-TLS echo server for E5.
+func startEchoTLS(b *testing.B, ca *pki.CA) (addr string, stop func()) {
+	b.Helper()
+	key, err := pki.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert, err := ca.IssueServerCert(core.ServerName, []string{core.ServerName}, []net.IP{net.IPv4(127, 0, 0, 1)}, &key.PublicKey, time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := &tls.Config{
+		MinVersion:   tls.VersionTLS12,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{cert.Raw}, PrivateKey: key}},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    ca.Pool(),
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// BenchmarkE6_HostAttestation measures steps 1–2 as the IML grows: the
+// quote and IAS round trip dominate; appraisal is linear but cheap.
+func BenchmarkE6_HostAttestation(b *testing.B) {
+	for _, entries := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("iml-%d", entries), func(b *testing.B) {
+			d := newBenchDeployment(b, core.Options{})
+			for i := 0; i < entries; i++ {
+				d.Hosts[0].IMA().HandleEvent(ima.Event{
+					Path: fmt.Sprintf("/usr/lib/mod-%04d.so", i),
+					Hook: ima.HookBprmCheck, Mask: ima.MayExec, UID: 0,
+				}, []byte(fmt.Sprintf("module %d", i)))
+			}
+			if err := d.LearnGolden(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				app, err := d.VM.AttestHost(d.HostName(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !app.Trusted {
+					b.Fatalf("untrusted: %v", app.Findings)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7_TPMRootedIMA compares software-only attestation with the
+// §4 TPM-rooted extension (a large constant cost buys tamper evidence).
+func BenchmarkE7_TPMRootedIMA(b *testing.B) {
+	for _, tpmOn := range []bool{false, true} {
+		name := "software-iml"
+		if tpmOn {
+			name = "tpm-rooted-iml"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := newBenchDeployment(b, core.Options{EnableTPM: tpmOn, RequireTPM: tpmOn})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				app, err := d.VM.AttestHost(d.HostName(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !app.Trusted {
+					b.Fatalf("untrusted: %v", app.Findings)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8_Scaling measures enrollment of N VNFs on one host (the
+// multi-VNF deployment Figure 1 depicts).
+func BenchmarkE8_Scaling(b *testing.B) {
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("vnfs-%d", n), func(b *testing.B) {
+			d := newBenchDeployment(b, core.Options{})
+			for i := 0; i < n; i++ {
+				if err := d.DeployVNF(0, fmt.Sprintf("fw-s%d", i), "firewall"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.LearnGolden(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					if _, err := d.VM.EnrollVNF(d.HostName(0), fmt.Sprintf("fw-s%d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				for j := 0; j < n; j++ {
+					if err := d.VM.RevokeVNF(fmt.Sprintf("fw-s%d", j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkE9_Revocation measures the enroll+revoke credential cycle.
+// Revocation alone is microseconds (CRL update + one sealed record; see
+// cmd/benchreport E9 for its isolated latency); timing the full cycle
+// keeps the benchmark's iteration count proportionate to its setup cost.
+func BenchmarkE9_Revocation(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("fw-e9-%d", i)
+		b.StopTimer()
+		if err := d.DeployVNF(0, name, "firewall"); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.LearnGolden(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := d.VM.EnrollVNF(d.HostName(0), name); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.VM.RevokeVNF(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_SGXPrimitives isolates the substrate's modeled costs (the
+// cost-model ablation: each primitive under the default model).
+func BenchmarkE10_SGXPrimitives(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	ce, err := d.Hosts[0].CredentialEnclave("fw-0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-0"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ecall-sign", func(b *testing.B) {
+		signer, err := ce.Signer()
+		if err != nil {
+			b.Fatal(err)
+		}
+		digest := make([]byte, 32)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := signer.Sign(nil, digest, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ecall-hmac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ce.HMAC([]byte("heartbeat")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("host-evidence-quote", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Hosts[0].Attest([]byte("bench-nonce"), false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if d.Hosts[0].HasTPM() {
+		b.Run("tpm-quote", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Hosts[0].TPM().Quote([]byte("n"), []int{10}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,715 @@
+// Command benchreport regenerates every experiment in EXPERIMENTS.md
+// (E1–E10): it assembles deployments per DESIGN.md §4, runs the
+// workloads, and prints one table per experiment. Pass -markdown to emit
+// GitHub-flavored tables for pasting into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchreport [-runs N] [-markdown] [-experiments E1,E4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"crypto/tls"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/core"
+	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/ias"
+	"vnfguard/internal/ima"
+	"vnfguard/internal/metrics"
+	"vnfguard/internal/pki"
+	"vnfguard/internal/simtime"
+	"vnfguard/internal/vnf"
+)
+
+var (
+	runs     = flag.Int("runs", 5, "iterations per measured point")
+	markdown = flag.Bool("markdown", false, "emit markdown tables")
+	selected = flag.String("experiments", "", "comma-separated experiment ids (default: all)")
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(runs int) (*metrics.Table, error)
+}
+
+func main() {
+	flag.Parse()
+	experiments := []experiment{
+		{"E1", "Figure 1 six-step workflow", runE1},
+		{"E2", "Use case 1: VNF integrity attestation", runE2},
+		{"E3", "Use case 2: VNF enrollment", runE3},
+		{"E4", "Floodlight REST security modes", runE4},
+		{"E5", "In-enclave TLS placement", runE5},
+		{"E6", "Host attestation vs IML size", runE6},
+		{"E7", "TPM-rooted IMA (future work §4)", runE7},
+		{"E8", "Enrollment scaling", runE8},
+		{"E9", "Revocation", runE9},
+		{"E10", "SGX substrate primitives", runE10},
+	}
+	want := map[string]bool{}
+	if *selected != "" {
+		for _, id := range strings.Split(*selected, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.run(*runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.String())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// trusted returns a ready deployment with a firewall VNF and golden IML.
+func trusted(opts core.Options) (*core.Deployment, error) {
+	if opts.Model == nil {
+		opts.Model = simtime.DefaultCosts()
+	}
+	d, err := core.NewDeployment(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.DeployVNF(0, "fw-0", "firewall"); err != nil {
+		return nil, err
+	}
+	if err := d.LearnGolden(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond)) }
+
+func runE1(runs int) (*metrics.Table, error) {
+	d, err := trusted(core.Options{
+		Mode: controller.ModeTrustedHTTPS, Trust: controller.TrustCA,
+		TLSMode: enclaveapp.TLSFullSession,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	stepHists := map[int]*metrics.Histogram{}
+	for i := 1; i <= 6; i++ {
+		stepHists[i] = metrics.NewHistogram(fmt.Sprintf("step-%d", i))
+	}
+	total := metrics.NewHistogram("total")
+	names := map[int]string{}
+	for i := 0; i < runs; i++ {
+		name := fmt.Sprintf("fw-e1-%d", i)
+		if err := d.DeployVNF(0, name, "firewall"); err != nil {
+			return nil, err
+		}
+		if err := d.LearnGolden(); err != nil {
+			return nil, err
+		}
+		res, err := d.RunWorkflow(0, []vnf.VNF{core.StandardFirewall(name)})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range res.Steps {
+			stepHists[s.Number].Observe(s.Duration)
+			names[s.Number] = s.Name
+		}
+		total.Observe(res.Total)
+		if err := d.VM.RevokeVNF(name); err != nil {
+			return nil, err
+		}
+	}
+	t := metrics.NewTable("E1 — Figure 1 workflow, per-step latency (n="+fmt.Sprint(runs)+")",
+		"step", "name", "mean", "p95")
+	for i := 1; i <= 6; i++ {
+		s := stepHists[i].Summarize()
+		t.AddRow(i, names[i], ms(s.Mean), ms(s.P95))
+	}
+	s := total.Summarize()
+	t.AddRow("-", "end-to-end total", ms(s.Mean), ms(s.P95))
+	return t, nil
+}
+
+func runE2(runs int) (*metrics.Table, error) {
+	t := metrics.NewTable("E2 — use case 1: VNF integrity attestation (n="+fmt.Sprint(runs)+")",
+		"scenario", "outcome", "mean latency")
+
+	// Genuine enclave.
+	d, err := trusted(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	h := metrics.NewHistogram("ok")
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := d.VM.AttestVNF(d.HostName(0), "fw-0"); err != nil {
+			return nil, err
+		}
+		h.Observe(time.Since(start))
+	}
+	t.AddRow("genuine enclave", "ACCEPTED (OK)", ms(h.Summarize().Mean))
+	d.Close()
+
+	// Revoked platform key.
+	d2, err := trusted(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d2.IAS.RevokePlatformKey(d2.Hosts[0].Platform().EPIDMember().PseudonymSecret())
+	_, err = d2.VM.AttestVNF(d2.HostName(0), "fw-0")
+	outcome := "REJECTED"
+	if err != nil && strings.Contains(err.Error(), string(ias.StatusKeyRevoked)) {
+		outcome = "REJECTED (KEY_REVOKED)"
+	} else if err == nil {
+		outcome = "ACCEPTED (!!)"
+	}
+	t.AddRow("revoked platform key", outcome, "-")
+	d2.Close()
+
+	// Tampered host (measurement mismatch blocks at host appraisal).
+	d3, err := trusted(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d3.Hosts[0].TamperBinary("fw-0", "/usr/bin/firewall", []byte("backdoored"))
+	app, err := d3.VM.AttestHost(d3.HostName(0))
+	if err != nil {
+		return nil, err
+	}
+	if app.Trusted {
+		t.AddRow("tampered VNF binary", "ACCEPTED (!!)", "-")
+	} else {
+		t.AddRow("tampered VNF binary", "REJECTED (IMA mismatch)", "-")
+	}
+	d3.Close()
+	return t, nil
+}
+
+func runE3(runs int) (*metrics.Table, error) {
+	t := metrics.NewTable("E3 — use case 2: VNF enrollment (n="+fmt.Sprint(runs)+")",
+		"scenario", "outcome", "mean latency")
+	for _, mode := range []enclaveapp.ProvisionMode{enclaveapp.ModeVMGenerated, enclaveapp.ModeCSR} {
+		d, err := trusted(core.Options{Provision: mode})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			return nil, err
+		}
+		h := metrics.NewHistogram(string(mode))
+		for i := 0; i < runs; i++ {
+			name := fmt.Sprintf("fw-e3-%d", i)
+			if err := d.DeployVNF(0, name, "firewall"); err != nil {
+				return nil, err
+			}
+			if err := d.LearnGolden(); err != nil {
+				return nil, err
+			}
+			if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := d.VM.EnrollVNF(d.HostName(0), name); err != nil {
+				return nil, err
+			}
+			h.Observe(time.Since(start))
+		}
+		t.AddRow("enroll ("+string(mode)+")", "PROVISIONED", ms(h.Summarize().Mean))
+		d.Close()
+	}
+	// Negative: enrollment refused on an unattested host.
+	d, err := trusted(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-0"); err != nil {
+		t.AddRow("enroll without host attestation", "REFUSED", "-")
+	} else {
+		t.AddRow("enroll without host attestation", "ALLOWED (!!)", "-")
+	}
+	// Negative: no credentials → controller rejects (trusted mode).
+	d2, err := trusted(core.Options{Mode: controller.ModeTrustedHTTPS, Trust: controller.TrustCA})
+	if err != nil {
+		return nil, err
+	}
+	client := controller.NewClient(d2.ControllerURL(), nil)
+	if _, err := client.Health(); err != nil {
+		t.AddRow("controller access without credentials", "TLS REJECTED", "-")
+	} else {
+		t.AddRow("controller access without credentials", "ALLOWED (!!)", "-")
+	}
+	d.Close()
+	d2.Close()
+	return t, nil
+}
+
+func runE4(runs int) (*metrics.Table, error) {
+	if runs < 20 {
+		runs = 20
+	}
+	type variant struct {
+		name  string
+		mode  controller.SecurityMode
+		trust controller.TrustModel
+	}
+	variants := []variant{
+		{"http", controller.ModeHTTP, controller.TrustCA},
+		{"https", controller.ModeHTTPS, controller.TrustCA},
+		{"trusted-https (CA)", controller.ModeTrustedHTTPS, controller.TrustCA},
+		{"trusted-https (keystore)", controller.ModeTrustedHTTPS, controller.TrustKeystore},
+	}
+	t := metrics.NewTable("E4 — REST latency per security mode (n="+fmt.Sprint(runs)+")",
+		"mode", "per-connection p50", "per-connection p95", "keep-alive p50")
+	for _, v := range variants {
+		d, err := trusted(core.Options{
+			Mode: v.mode, Trust: v.trust, Model: simtime.ZeroCosts(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			return nil, err
+		}
+		enr, err := d.VM.EnrollVNF(d.HostName(0), "fw-0")
+		if err != nil {
+			return nil, err
+		}
+		if v.trust == controller.TrustKeystore {
+			d.Server.PinCertificate(enr.Cert)
+		}
+		ce, err := d.Hosts[0].CredentialEnclave("fw-0")
+		if err != nil {
+			return nil, err
+		}
+		mk := func() *controller.Client {
+			if v.mode == controller.ModeHTTP {
+				return controller.NewClient(d.ControllerURL(), nil)
+			}
+			cfg, err := ce.ClientTLSConfig(core.ServerName)
+			if err != nil {
+				panic(err)
+			}
+			return controller.NewClient(d.ControllerURL(), cfg)
+		}
+		perConn := metrics.NewHistogram("per-conn")
+		for i := 0; i < runs; i++ {
+			c := mk()
+			perConn.Time(func() {
+				if _, err := c.Summary(); err != nil {
+					panic(err)
+				}
+			})
+			c.CloseIdle()
+		}
+		keep := metrics.NewHistogram("keep-alive")
+		c := mk()
+		for i := 0; i < runs; i++ {
+			keep.Time(func() {
+				if _, err := c.Summary(); err != nil {
+					panic(err)
+				}
+			})
+		}
+		c.CloseIdle()
+		pc, ka := perConn.Summarize(), keep.Summarize()
+		t.AddRow(v.name, ms(pc.P50), ms(pc.P95), ms(ka.P50))
+		d.Close()
+	}
+	return t, nil
+}
+
+func runE5(runs int) (*metrics.Table, error) {
+	d, err := trusted(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		return nil, err
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-0"); err != nil {
+		return nil, err
+	}
+	ce, err := d.Hosts[0].CredentialEnclave("fw-0")
+	if err != nil {
+		return nil, err
+	}
+	ca := d.VM.CA()
+
+	// Echo server.
+	serverKey, err := pki.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	serverCert, err := ca.IssueServerCert(core.ServerName, []string{core.ServerName}, []net.IP{net.IPv4(127, 0, 0, 1)}, &serverKey.PublicKey, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	srvCfg := &tls.Config{
+		MinVersion:   tls.VersionTLS12,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{serverCert.Raw}, PrivateKey: serverKey}},
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		ClientCAs:    ca.Pool(),
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", srvCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { defer c.Close(); io.Copy(c, c) }(conn)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	nativeKey, err := pki.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	csr, err := pki.CreateCSR("native", nativeKey)
+	if err != nil {
+		return nil, err
+	}
+	nativeCert, err := ca.SignClientCSR(csr, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	nativeCfg := &tls.Config{
+		MinVersion: tls.VersionTLS12, RootCAs: ca.Pool(), ServerName: core.ServerName,
+		Certificates: []tls.Certificate{{Certificate: [][]byte{nativeCert.Raw}, PrivateKey: nativeKey}},
+	}
+	keyCfg, err := ce.ClientTLSConfig(core.ServerName)
+	if err != nil {
+		return nil, err
+	}
+	dialers := []struct {
+		name string
+		dial func() (net.Conn, error)
+	}{
+		{"native (no enclave)", func() (net.Conn, error) { return tls.Dial("tcp", addr, nativeCfg) }},
+		{"key-in-enclave", func() (net.Conn, error) { return tls.Dial("tcp", addr, keyCfg) }},
+		{"full-session-in-enclave", func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return ce.DialTLS(raw, core.ServerName)
+		}},
+	}
+	t := metrics.NewTable("E5 — TLS placement (n="+fmt.Sprint(runs)+")",
+		"placement", "handshake mean", "64KiB echo mean", "1KiB echo mean")
+	for _, dl := range dialers {
+		hs := metrics.NewHistogram("hs")
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			conn, err := dl.dial()
+			if err != nil {
+				return nil, err
+			}
+			hs.Observe(time.Since(start))
+			conn.Close()
+		}
+		conn, err := dl.dial()
+		if err != nil {
+			return nil, err
+		}
+		xferMeans := map[int]time.Duration{}
+		for _, size := range []int{64 << 10, 1 << 10} {
+			payload := make([]byte, size)
+			buf := make([]byte, size)
+			xfer := metrics.NewHistogram("xfer")
+			for i := 0; i < runs; i++ {
+				start := time.Now()
+				if _, err := conn.Write(payload); err != nil {
+					return nil, err
+				}
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					return nil, err
+				}
+				xfer.Observe(time.Since(start))
+			}
+			xferMeans[size] = xfer.Summarize().Mean
+		}
+		conn.Close()
+		t.AddRow(dl.name, ms(hs.Summarize().Mean), ms(xferMeans[64<<10]), ms(xferMeans[1<<10]))
+	}
+	return t, nil
+}
+
+func runE6(runs int) (*metrics.Table, error) {
+	t := metrics.NewTable("E6 — host attestation vs IML size (n="+fmt.Sprint(runs)+")",
+		"IML entries", "evidence (step 1) mean", "appraisal (step 2) mean", "total mean")
+	for _, entries := range []int{10, 100, 1000} {
+		d, err := trusted(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < entries; i++ {
+			d.Hosts[0].IMA().HandleEvent(ima.Event{
+				Path: fmt.Sprintf("/usr/lib/mod-%04d.so", i),
+				Hook: ima.HookBprmCheck, Mask: ima.MayExec, UID: 0,
+			}, []byte(fmt.Sprintf("module %d", i)))
+		}
+		if err := d.LearnGolden(); err != nil {
+			return nil, err
+		}
+		evidence := metrics.NewHistogram("evidence")
+		appraisal := metrics.NewHistogram("appraisal")
+		total := metrics.NewHistogram("total")
+		d.VM.SetTracer(func(phase string, dur time.Duration) {
+			switch phase {
+			case "host-evidence":
+				evidence.Observe(dur)
+			case "host-appraisal":
+				appraisal.Observe(dur)
+			}
+		})
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			app, err := d.VM.AttestHost(d.HostName(0))
+			if err != nil {
+				return nil, err
+			}
+			if !app.Trusted {
+				return nil, fmt.Errorf("E6: untrusted: %v", app.Findings)
+			}
+			total.Observe(time.Since(start))
+		}
+		t.AddRow(entries, ms(evidence.Summarize().Mean), ms(appraisal.Summarize().Mean), ms(total.Summarize().Mean))
+		d.Close()
+	}
+	return t, nil
+}
+
+func runE7(runs int) (*metrics.Table, error) {
+	t := metrics.NewTable("E7 — TPM-rooted IMA (n="+fmt.Sprint(runs)+")",
+		"configuration", "attest mean", "IML-rewrite detected")
+	for _, tpmOn := range []bool{false, true} {
+		d, err := trusted(core.Options{EnableTPM: tpmOn, RequireTPM: tpmOn})
+		if err != nil {
+			return nil, err
+		}
+		h := metrics.NewHistogram("attest")
+		for i := 0; i < runs; i++ {
+			h.Time(func() {
+				if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+					panic(err)
+				}
+			})
+		}
+		// Tamper test: run malware, then rewrite the software IML back to
+		// the pre-tamper state.
+		pre, _ := d.Hosts[0].IMA().Snapshot()
+		d.Hosts[0].TamperBinary("fw-0", "/usr/bin/firewall", []byte("malware"))
+		forged, err := ima.ParseList(pre)
+		if err != nil {
+			return nil, err
+		}
+		d.Hosts[0].IMA().TamperList(forged)
+		app, err := d.VM.AttestHost(d.HostName(0))
+		if err != nil {
+			return nil, err
+		}
+		detected := "NO (paper §4 gap)"
+		if !app.Trusted {
+			detected = "YES"
+		}
+		name := "software IML"
+		if tpmOn {
+			name = "TPM-rooted IML"
+		}
+		t.AddRow(name, ms(h.Summarize().Mean), detected)
+		d.Close()
+	}
+	return t, nil
+}
+
+func runE8(runs int) (*metrics.Table, error) {
+	t := metrics.NewTable("E8 — enrollment scaling (n="+fmt.Sprint(runs)+")",
+		"VNFs", "total mean", "per-VNF mean", "enrollments/s")
+	for _, n := range []int{1, 4, 16} {
+		d, err := trusted(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if err := d.DeployVNF(0, fmt.Sprintf("fw-s%d", i), "firewall"); err != nil {
+				return nil, err
+			}
+		}
+		if err := d.LearnGolden(); err != nil {
+			return nil, err
+		}
+		h := metrics.NewHistogram("batch")
+		for r := 0; r < runs; r++ {
+			if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if _, err := d.VM.EnrollVNF(d.HostName(0), fmt.Sprintf("fw-s%d", i)); err != nil {
+					return nil, err
+				}
+			}
+			h.Observe(time.Since(start))
+			for i := 0; i < n; i++ {
+				if err := d.VM.RevokeVNF(fmt.Sprintf("fw-s%d", i)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		mean := h.Summarize().Mean
+		perVNF := mean / time.Duration(n)
+		rate := float64(n) / mean.Seconds()
+		t.AddRow(n, ms(mean), ms(perVNF), fmt.Sprintf("%.2f", rate))
+		d.Close()
+	}
+	return t, nil
+}
+
+func runE9(runs int) (*metrics.Table, error) {
+	d, err := trusted(core.Options{Mode: controller.ModeTrustedHTTPS, Trust: controller.TrustCA})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		return nil, err
+	}
+	h := metrics.NewHistogram("revoke")
+	for i := 0; i < runs; i++ {
+		name := fmt.Sprintf("fw-e9-%d", i)
+		if err := d.DeployVNF(0, name, "firewall"); err != nil {
+			return nil, err
+		}
+		if err := d.LearnGolden(); err != nil {
+			return nil, err
+		}
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			return nil, err
+		}
+		if _, err := d.VM.EnrollVNF(d.HostName(0), name); err != nil {
+			return nil, err
+		}
+		h.Time(func() {
+			if err := d.VM.RevokeVNF(name); err != nil {
+				panic(err)
+			}
+		})
+	}
+	t := metrics.NewTable("E9 — revocation (n="+fmt.Sprint(runs)+")",
+		"operation", "outcome", "mean latency")
+	t.AddRow("revoke (CRL + enclave wipe)", "OK", ms(h.Summarize().Mean))
+
+	// Post-revocation access check.
+	if err := d.DeployVNF(0, "fw-e9-final", "firewall"); err != nil {
+		return nil, err
+	}
+	if err := d.LearnGolden(); err != nil {
+		return nil, err
+	}
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		return nil, err
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-e9-final"); err != nil {
+		return nil, err
+	}
+	ce, err := d.Hosts[0].CredentialEnclave("fw-e9-final")
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := ce.ClientTLSConfig(core.ServerName)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.VM.RevokeVNF("fw-e9-final"); err != nil {
+		return nil, err
+	}
+	client := controller.NewClient(d.ControllerURL(), cfg)
+	if _, err := client.Health(); err != nil {
+		t.AddRow("controller session after revocation", "TLS REJECTED", "-")
+	} else {
+		t.AddRow("controller session after revocation", "ALLOWED (!!)", "-")
+	}
+	return t, nil
+}
+
+func runE10(runs int) (*metrics.Table, error) {
+	if runs < 10 {
+		runs = 10
+	}
+	d, err := trusted(core.Options{EnableTPM: true})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+		return nil, err
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-0"); err != nil {
+		return nil, err
+	}
+	ce, err := d.Hosts[0].CredentialEnclave("fw-0")
+	if err != nil {
+		return nil, err
+	}
+	signer, err := ce.Signer()
+	if err != nil {
+		return nil, err
+	}
+	model := simtime.DefaultCosts()
+	t := metrics.NewTable("E10 — SGX substrate primitives (n="+fmt.Sprint(runs)+")",
+		"primitive", "modeled cost", "measured mean")
+	measure := func(name string, modeled time.Duration, fn func()) {
+		h := metrics.NewHistogram(name)
+		for i := 0; i < runs; i++ {
+			h.Time(fn)
+		}
+		t.AddRow(name, modeled.String(), ms(h.Summarize().Mean))
+	}
+	digest := make([]byte, 32)
+	measure("ECALL (sign)", model.Cost(simtime.OpECall), func() {
+		if _, err := signer.Sign(nil, digest, nil); err != nil {
+			panic(err)
+		}
+	})
+	measure("ECALL (hmac)", model.Cost(simtime.OpECall), func() {
+		if _, err := ce.HMAC([]byte("x")); err != nil {
+			panic(err)
+		}
+	})
+	measure("host evidence (EREPORT+quote)", model.Cost(simtime.OpQuote), func() {
+		if _, err := d.Hosts[0].Attest([]byte("n"), false); err != nil {
+			panic(err)
+		}
+	})
+	measure("TPM quote", model.Cost(simtime.OpTPMQuote), func() {
+		if _, err := d.Hosts[0].TPM().Quote([]byte("n"), []int{10}); err != nil {
+			panic(err)
+		}
+	})
+	return t, nil
+}

@@ -1,0 +1,124 @@
+// Command container-host runs one SGX/IMA container host with its agent
+// exposed over HTTP. It provisions its platform into the shared EPID
+// group, deploys the requested VNF containers, and publishes its agent
+// URL, attestation-enclave measurement and (optional) TPM AIK so the
+// Verification Manager can register it.
+//
+//	container-host -name host-a -state-dir ./state -vnfs fw-1:firewall,ids-1:monitor -tpm
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"crypto/x509"
+
+	"vnfguard/internal/core"
+	"vnfguard/internal/epid"
+	"vnfguard/internal/host"
+	"vnfguard/internal/sgx"
+	"vnfguard/internal/simtime"
+	"vnfguard/internal/statedir"
+)
+
+// HostInfo is the record a host publishes into the state directory.
+type HostInfo struct {
+	Name          string `json:"name"`
+	AgentURL      string `json:"agent_url"`
+	AttestationMR string `json:"attestation_mrenclave"`
+	AIKPubDER     string `json:"aik_pub_der,omitempty"` // base64
+	VNFs          string `json:"vnfs"`
+}
+
+func main() {
+	name := flag.String("name", "host-a", "host name")
+	addr := flag.String("addr", "127.0.0.1:0", "agent listen address")
+	stateDir := flag.String("state-dir", "./state", "shared state directory")
+	vnfs := flag.String("vnfs", "fw-1:firewall", "comma-separated name:kind VNF list")
+	enableTPM := flag.Bool("tpm", false, "equip the host with a TPM")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
+	flag.Parse()
+
+	dir, err := statedir.Open(*stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	issuerRaw, err := dir.WaitFor(statedir.FileIssuer, *wait)
+	if err != nil {
+		log.Fatalf("waiting for EPID issuer (start ias-server first): %v", err)
+	}
+	issuer, err := epid.ImportIssuer(issuerRaw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendorPEM, err := dir.WaitFor(statedir.FileVendorKey, *wait)
+	if err != nil {
+		log.Fatalf("waiting for vendor key (run `verification-manager -init`): %v", err)
+	}
+	vendor, err := statedir.ParseKeyPEM(vendorPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmPubPEM, err := dir.WaitFor(statedir.FileVMPub, *wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmPub, err := statedir.ParsePubPEM(vmPubPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	h, err := host.New(host.Config{
+		Name: *name, Issuer: issuer, Model: simtime.DefaultCosts(),
+		VendorKey: vendor, VMPub: vmPub, SPID: sgx.SPID{0x42},
+		EnableTPM: *enableTPM,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy the requested VNF containers.
+	for _, spec := range strings.Split(*vnfs, ",") {
+		vnfName, kind, ok := strings.Cut(strings.TrimSpace(spec), ":")
+		if !ok {
+			log.Fatalf("malformed -vnfs entry %q (want name:kind)", spec)
+		}
+		if _, err := h.RunContainer(core.StandardImage(kind), vnfName); err != nil {
+			log.Fatalf("deploying %s: %v", vnfName, err)
+		}
+		log.Printf("deployed %s (%s), credential enclave launched", vnfName, kind)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := HostInfo{
+		Name:          *name,
+		AgentURL:      "http://" + ln.Addr().String(),
+		AttestationMR: h.AttestationEnclaveIdentity().MRENCLAVE.String(),
+		VNFs:          *vnfs,
+	}
+	if h.HasTPM() {
+		der, err := x509.MarshalPKIXPublicKey(h.TPM().AIKPublic())
+		if err != nil {
+			log.Fatal(err)
+		}
+		info.AIKPubDER = base64.StdEncoding.EncodeToString(der)
+	}
+	raw, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dir.Write(statedir.HostInfoFile(*name), raw); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("host agent %s listening on %s (tpm=%v)", *name, info.AgentURL, h.HasTPM())
+	log.Fatal(http.Serve(ln, h.Handler()))
+}

@@ -1,0 +1,100 @@
+// Command controller runs the Floodlight-like SDN controller as a
+// standalone process. It waits for the Verification Manager's init phase
+// to publish its server certificate (issued by the VM's CA, so enrolled
+// VNFs can authenticate the controller) and serves the north-bound REST
+// API in the selected security mode over a demo forwarding plane.
+//
+//	controller -addr 127.0.0.1:8080 -state-dir ./state -mode trusted-https
+package main
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"flag"
+	"log"
+	"time"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/netsim"
+	"vnfguard/internal/pki"
+	"vnfguard/internal/statedir"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	stateDir := flag.String("state-dir", "./state", "shared state directory")
+	modeName := flag.String("mode", "trusted-https", "security mode: http, https, trusted-https")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for VM init material")
+	flag.Parse()
+
+	var mode controller.SecurityMode
+	switch *modeName {
+	case "http":
+		mode = controller.ModeHTTP
+	case "https":
+		mode = controller.ModeHTTPS
+	case "trusted-https":
+		mode = controller.ModeTrustedHTTPS
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	dir, err := statedir.Open(*stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Demo forwarding plane: one switch, an external client and a server.
+	network := netsim.NewNetwork()
+	if _, err := network.AddSwitch("00:00:01"); err != nil {
+		log.Fatal(err)
+	}
+	if err := network.AttachHost("ext-client", "00:00:01", 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := network.AttachHost("svc-server", "00:00:01", 2); err != nil {
+		log.Fatal(err)
+	}
+	ctrl := controller.New("lightpath", network)
+
+	cfg := controller.ServerConfig{Mode: mode}
+	if mode != controller.ModeHTTP {
+		certPEM, err := dir.WaitFor(statedir.FileControllerCert, *wait)
+		if err != nil {
+			log.Fatalf("waiting for controller certificate (run `verification-manager -init` first): %v", err)
+		}
+		keyPEM, err := dir.WaitFor(statedir.FileControllerKey, *wait)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cert, err := tls.X509KeyPair(certPEM, keyPEM)
+		if err != nil {
+			log.Fatalf("loading controller keypair: %v", err)
+		}
+		cfg.Cert = cert
+	}
+	if mode == controller.ModeTrustedHTTPS {
+		caPEM, err := dir.WaitFor(statedir.FileCACert, *wait)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ca, err := pki.ParseCertPEM(caPEM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool := x509.NewCertPool()
+		pool.AddCert(ca)
+		cfg.Trust = controller.TrustCA
+		cfg.ClientCAs = pool
+	}
+
+	srv, err := controller.Serve(ctrl, cfg, *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dir.Write(statedir.FileControllerURL, []byte(srv.URL())); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("controller listening on %s (%s)", srv.URL(), mode)
+	select {}
+}

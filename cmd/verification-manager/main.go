@@ -1,0 +1,280 @@
+// Command verification-manager is the paper's central component as a
+// standalone process. It has two phases:
+//
+//	verification-manager -init -state-dir ./state
+//
+// generates the VM's long-term key, the certificate authority and the
+// controller's server certificate, publishing the trust material into the
+// state directory (the out-of-band trust establishment).
+//
+//	verification-manager -state-dir ./state -hosts host-a -enroll fw-1@host-a
+//
+// runs the workflow: registers hosts from their published HostInfo,
+// learns the golden IML baseline, attests every host (steps 1–2 of
+// Figure 1) and enrolls the requested VNFs (steps 3–5). The enrolled
+// certificate is then validated for controller client authentication
+// (step 6 is driven by the VNF process on the host; see
+// examples/quickstart for the in-process end-to-end run).
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/host"
+	"vnfguard/internal/ias"
+	"vnfguard/internal/pki"
+	"vnfguard/internal/sgx"
+	"vnfguard/internal/simtime"
+	"vnfguard/internal/statedir"
+	"vnfguard/internal/verifier"
+)
+
+func main() {
+	initPhase := flag.Bool("init", false, "generate and publish trust material, then exit")
+	stateDir := flag.String("state-dir", "./state", "shared state directory")
+	hosts := flag.String("hosts", "", "comma-separated host names to register")
+	enroll := flag.String("enroll", "", "comma-separated vnf@host enrollments")
+	learn := flag.Bool("learn", true, "learn the current IML as golden before appraising")
+	requireTPM := flag.Bool("require-tpm", false, "appraisal policy demands TPM-rooted IML")
+	subKey := flag.String("subscription-key", "vnfguard-subscription", "IAS API key")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
+	flag.Parse()
+
+	dir, err := statedir.Open(*stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *initPhase {
+		runInit(dir)
+		return
+	}
+	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *wait)
+}
+
+// runInit publishes the deployment's trust anchors.
+func runInit(dir *statedir.Dir) {
+	vmKeyPEM, err := statedir.GenerateKeyPEM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmKey, err := statedir.ParseKeyPEM(vmKeyPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vmPubPEM, err := statedir.MarshalPubPEM(&vmKey.PublicKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendorPEM, err := statedir.GenerateKeyPEM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := pki.NewCA("verification-manager CA", 10*365*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caKeyPEM, err := ca.KeyPEM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlKey, err := pki.GenerateKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlCert, err := ca.IssueServerCert("controller", []string{"controller"}, nil, &ctrlKey.PublicKey, 10*365*24*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlKeyPEM, err := statedir.MarshalKeyPEM(ctrlKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		statedir.FileVMKey:          vmKeyPEM,
+		statedir.FileVMPub:          vmPubPEM,
+		statedir.FileVendorKey:      vendorPEM,
+		statedir.FileCACert:         ca.CertPEM(),
+		statedir.FileCAKey:          caKeyPEM,
+		statedir.FileControllerCert: pki.EncodeCertPEM(ctrlCert),
+		statedir.FileControllerKey:  ctrlKeyPEM,
+	} {
+		if err := dir.Write(name, data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("init complete: VM key, CA and controller certificate published to %s", dir.Path(""))
+}
+
+// hostInfo mirrors the record container-host publishes.
+type hostInfo struct {
+	Name          string `json:"name"`
+	AgentURL      string `json:"agent_url"`
+	AttestationMR string `json:"attestation_mrenclave"`
+	AIKPubDER     string `json:"aik_pub_der"`
+}
+
+func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, wait time.Duration) {
+	model := simtime.DefaultCosts()
+
+	vmKeyPEM, err := dir.WaitFor(statedir.FileVMKey, wait)
+	if err != nil {
+		log.Fatalf("run `verification-manager -init` first: %v", err)
+	}
+	vmKey, err := statedir.ParseKeyPEM(vmKeyPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendorPEM, err := dir.WaitFor(statedir.FileVendorKey, wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendor, err := statedir.ParseKeyPEM(vendorPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caKeyPEM, err := dir.WaitFor(statedir.FileCAKey, wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := pki.LoadCA(caCertPEM, caKeyPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	iasURL, err := dir.ReadString(statedir.FileIASURL)
+	if err != nil {
+		if _, err = dir.WaitFor(statedir.FileIASURL, wait); err != nil {
+			log.Fatalf("waiting for IAS (start ias-server): %v", err)
+		}
+		iasURL, _ = dir.ReadString(statedir.FileIASURL)
+	}
+	iasCert, err := dir.WaitFor(statedir.FileIASCert, wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iasClient, err := ias.NewClient(iasURL, subKey, iasCert, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	policy := verifier.DefaultPolicy()
+	policy.RequireTPM = requireTPM
+	vm, err := verifier.New(verifier.Config{
+		Name: "verification-manager", Key: vmKey, SPID: sgx.SPID{0x42},
+		IAS: iasClient, Policy: policy, CA: ca,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	credMR, err := enclaveapp.ExpectedCredentialMeasurement(vendor, vm.PublicKey())
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm.PinCredentialMeasurement(credMR)
+
+	if hostList == "" {
+		log.Fatal("no -hosts given")
+	}
+	for _, name := range strings.Split(hostList, ",") {
+		name = strings.TrimSpace(name)
+		raw, err := dir.WaitFor(statedir.HostInfoFile(name), wait)
+		if err != nil {
+			log.Fatalf("waiting for host %s (start container-host): %v", name, err)
+		}
+		var info hostInfo
+		if err := json.Unmarshal(raw, &info); err != nil {
+			log.Fatal(err)
+		}
+		mr, err := parseMeasurement(info.AttestationMR)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vm.PinAttestationMeasurement(mr)
+		var aik *ecdsa.PublicKey
+		if info.AIKPubDER != "" {
+			der, err := base64.StdEncoding.DecodeString(info.AIKPubDER)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pubAny, err := x509.ParsePKIXPublicKey(der)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pub, ok := pubAny.(*ecdsa.PublicKey)
+			if !ok {
+				log.Fatalf("host %s AIK type %T unsupported", name, pubAny)
+			}
+			aik = pub
+		}
+		vm.RegisterHost(name, host.NewClient(info.AgentURL), aik)
+		log.Printf("registered host %s at %s", name, info.AgentURL)
+
+		if learn {
+			if err := vm.LearnHostGolden(name); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("learned golden IML for %s", name)
+		}
+		app, err := vm.AttestHost(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("host %s: trusted=%v quote=%s IML=%d entries tpm=%v",
+			name, app.Trusted, app.QuoteStatus, app.IMLEntries, app.TPMVerified)
+		if !app.Trusted {
+			for _, f := range app.Findings {
+				log.Printf("  finding: %s", f)
+			}
+			log.Fatal("aborting: host not trusted")
+		}
+	}
+
+	for _, pair := range strings.Split(enrollList, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		vnfName, hostName, ok := strings.Cut(pair, "@")
+		if !ok {
+			log.Fatalf("malformed -enroll entry %q (want vnf@host)", pair)
+		}
+		enr, err := vm.EnrollVNF(hostName, vnfName)
+		if err != nil {
+			log.Fatalf("enrolling %s: %v", pair, err)
+		}
+		if err := vm.CA().VerifyClient(enr.Cert); err != nil {
+			log.Fatalf("enrolled certificate failed verification: %v", err)
+		}
+		log.Printf("enrolled %s on %s: certificate serial %s (client-auth verified)",
+			enr.VNF, enr.Host, enr.Serial)
+	}
+
+	if url, err := dir.ReadString(statedir.FileControllerURL); err == nil {
+		log.Printf("controller at %s trusts the CA; enrolled VNFs can now push flows (step 6)", url)
+	}
+	log.Print("workflow complete")
+}
+
+func parseMeasurement(hexStr string) (sgx.Measurement, error) {
+	var mr sgx.Measurement
+	raw, err := hex.DecodeString(hexStr)
+	if err != nil || len(raw) != 32 {
+		return mr, fmt.Errorf("bad measurement %q", hexStr)
+	}
+	copy(mr[:], raw)
+	return mr, nil
+}

@@ -1,0 +1,124 @@
+// Compromised host: walks the threat scenarios the paper's architecture
+// defends against, showing each one failing closed — plus the §4 gap
+// (software-IML rewrite) and its TPM-rooted fix.
+//
+//	go run ./examples/compromised-host
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vnfguard/internal/core"
+	"vnfguard/internal/ima"
+)
+
+func scenario(title string) { fmt.Printf("\n== %s ==\n", title) }
+
+func main() {
+	fmt.Println("compromised-host scenarios: every attack fails closed")
+
+	// --- Scenario 1: VNF binary tampered after the golden run. ---
+	scenario("1. tampered VNF binary")
+	d, err := core.NewDeployment(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.DeployVNF(0, "fw-1", "firewall"); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.LearnGolden(); err != nil {
+		log.Fatal(err)
+	}
+	d.Hosts[0].TamperBinary("fw-1", "/usr/bin/firewall", []byte("firewall with backdoor"))
+	app, err := d.VM.AttestHost(d.HostName(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appraisal trusted=%v\n", app.Trusted)
+	for _, f := range app.Findings {
+		fmt.Printf("  finding: %s\n", f)
+	}
+	if _, err := d.VM.EnrollVNF(d.HostName(0), "fw-1"); err != nil {
+		fmt.Printf("enrollment refused: %v\n", err)
+	}
+	d.Close()
+
+	// --- Scenario 2: platform EPID key leaked and revoked. ---
+	scenario("2. revoked platform (leaked EPID key)")
+	d2, err := core.NewDeployment(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d2.DeployVNF(0, "fw-1", "firewall"); err != nil {
+		log.Fatal(err)
+	}
+	if err := d2.LearnGolden(); err != nil {
+		log.Fatal(err)
+	}
+	d2.IAS.RevokePlatformKey(d2.Hosts[0].Platform().EPIDMember().PseudonymSecret())
+	app2, err := d2.VM.AttestHost(d2.HostName(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appraisal trusted=%v quote status=%s\n", app2.Trusted, app2.QuoteStatus)
+	d2.Close()
+
+	// --- Scenario 3: software-IML rewrite — the §4 gap. ---
+	scenario("3. root rewrites the IML (software-only attestation)")
+	d3, err := core.NewDeployment(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d3.DeployVNF(0, "fw-1", "firewall"); err != nil {
+		log.Fatal(err)
+	}
+	if err := d3.LearnGolden(); err != nil {
+		log.Fatal(err)
+	}
+	pre, _ := d3.Hosts[0].IMA().Snapshot()
+	d3.Hosts[0].TamperBinary("fw-1", "/usr/bin/firewall", []byte("malware"))
+	forged, err := ima.ParseList(pre) // adversary restores the pre-malware log
+	if err != nil {
+		log.Fatal(err)
+	}
+	d3.Hosts[0].IMA().TamperList(forged)
+	app3, err := d3.VM.AttestHost(d3.HostName(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appraisal trusted=%v  <-- the paper's §4 limitation: undetected\n", app3.Trusted)
+	d3.Close()
+
+	// --- Scenario 4: the same rewrite under TPM-rooted IMA. ---
+	scenario("4. the same rewrite with a TPM root of trust (§4 future work)")
+	d4, err := core.NewDeployment(core.Options{EnableTPM: true, RequireTPM: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d4.DeployVNF(0, "fw-1", "firewall"); err != nil {
+		log.Fatal(err)
+	}
+	if err := d4.LearnGolden(); err != nil {
+		log.Fatal(err)
+	}
+	pre4, _ := d4.Hosts[0].IMA().Snapshot()
+	d4.Hosts[0].TamperBinary("fw-1", "/usr/bin/firewall", []byte("malware"))
+	forged4, err := ima.ParseList(pre4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d4.Hosts[0].IMA().TamperList(forged4)
+	app4, err := d4.VM.AttestHost(d4.HostName(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("appraisal trusted=%v\n", app4.Trusted)
+	for _, f := range app4.Findings {
+		fmt.Printf("  finding: %s\n", f)
+	}
+	d4.Close()
+
+	fmt.Println("\nconclusion: attestation blocks tampered software and revoked platforms;")
+	fmt.Println("the TPM extension closes the log-rewrite gap the paper leaves as future work.")
+}

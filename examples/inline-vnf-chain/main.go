@@ -1,0 +1,114 @@
+// Inline VNF chain: enrolls a service chain — monitor (IDS tap), firewall
+// and load balancer — on one attested host. All three program the network
+// through their own enclave-held credentials; packet traces show the
+// combined policy in effect.
+//
+//	go run ./examples/inline-vnf-chain
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/core"
+	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/netsim"
+	"vnfguard/internal/simtime"
+	"vnfguard/internal/vnf"
+)
+
+func main() {
+	fmt.Println("inline VNF chain: monitor + firewall + load balancer, all enclave-credentialed")
+	d, err := core.NewDeployment(core.Options{
+		Model: simtime.DefaultCosts(), // realistic SGX/IAS/WAN costs
+		Mode:  controller.ModeTrustedHTTPS, Trust: controller.TrustCA,
+		TLSMode: enclaveapp.TLSFullSession,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// Two backend ports for the load balancer.
+	if err := d.Network.AttachHost("backend-a", "00:00:01", 3); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Network.AttachHost("backend-b", "00:00:01", 4); err != nil {
+		log.Fatal(err)
+	}
+
+	chain := []vnf.VNF{
+		&vnf.Monitor{InstanceName: "ids-1", WatchPorts: []uint16{23}},
+		&vnf.Firewall{InstanceName: "fw-1", Rules: []vnf.FWRule{
+			{Allow: true, Proto: "tcp", DstPort: 80, Dst: netip.MustParsePrefix("10.0.0.0/24")},
+			{Allow: true, Proto: "tcp", DstPort: 443, Dst: netip.MustParsePrefix("10.0.0.0/24")},
+		}},
+		&vnf.LoadBalancer{InstanceName: "lb-1",
+			VIP: netip.MustParsePrefix("10.0.0.100/32"), Service: 80,
+			Backends: []vnf.Backend{
+				{Clients: netip.MustParsePrefix("192.168.0.0/17"), Port: 3},
+				{Clients: netip.MustParsePrefix("192.168.128.0/17"), Port: 4},
+			},
+		},
+	}
+	kinds := map[string]string{"ids-1": "monitor", "fw-1": "firewall", "lb-1": "loadbalancer"}
+	for name, kind := range kinds {
+		if err := d.DeployVNF(0, name, kind); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := d.LearnGolden(); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := d.RunWorkflow(0, chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nworkflow trace (3 VNFs enrolled):")
+	fmt.Print(res.String())
+
+	inject := func(label string, pkt netsim.Packet) {
+		del, err := d.Network.Inject("00:00:01", 1, pkt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "dropped"
+		if del.Delivered {
+			status = "delivered to " + del.Host
+		}
+		if del.PuntedToController {
+			status += " (+punted to controller)"
+		}
+		fmt.Printf("  %-34s %s\n", label, status)
+		for _, hop := range del.Path {
+			fmt.Printf("      %s in:%d -> %s\n", hop.DPID, hop.InPort, hop.Action)
+		}
+	}
+	fmt.Println("\npacket traces:")
+	inject("HTTP to VIP from 192.168.1.9", netsim.Packet{
+		IPSrc: netip.MustParseAddr("192.168.1.9"), IPDst: netip.MustParseAddr("10.0.0.100"),
+		Proto: netsim.ProtoTCP, DstPort: 80, Payload: []byte("GET /"),
+	})
+	inject("HTTP to VIP from 192.168.200.9", netsim.Packet{
+		IPSrc: netip.MustParseAddr("192.168.200.9"), IPDst: netip.MustParseAddr("10.0.0.100"),
+		Proto: netsim.ProtoTCP, DstPort: 80, Payload: []byte("GET /"),
+	})
+	inject("HTTPS direct to 10.0.0.10", netsim.Packet{
+		IPSrc: netip.MustParseAddr("192.168.1.9"), IPDst: netip.MustParseAddr("10.0.0.10"),
+		Proto: netsim.ProtoTCP, DstPort: 443, Payload: []byte("hello"),
+	})
+	inject("telnet probe (watched by IDS)", netsim.Packet{
+		IPSrc: netip.MustParseAddr("192.168.1.9"), IPDst: netip.MustParseAddr("10.0.0.10"),
+		Proto: netsim.ProtoTCP, DstPort: 23, Payload: []byte("root"),
+	})
+	inject("SSH (no allow rule)", netsim.Packet{
+		IPSrc: netip.MustParseAddr("192.168.1.9"), IPDst: netip.MustParseAddr("10.0.0.10"),
+		Proto: netsim.ProtoTCP, DstPort: 22, Payload: []byte("ssh"),
+	})
+
+	fmt.Printf("\ncontroller packet-ins (IDS punts): %d\n", d.Ctrl.PacketIns())
+	fmt.Printf("static flows installed: %d\n", d.Ctrl.Summary().StaticFlows)
+}

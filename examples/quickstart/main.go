@@ -1,0 +1,86 @@
+// Quickstart: assemble the full deployment of the paper's Figure 1 in one
+// process and run the six-step credential workflow for a firewall VNF —
+// host attestation, IAS verification, enclave attestation, credential
+// provisioning, and an authenticated flow push from inside the enclave.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/core"
+	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/netsim"
+	"vnfguard/internal/simtime"
+	"vnfguard/internal/vnf"
+)
+
+func main() {
+	fmt.Println("vnfguard quickstart — Safeguarding VNF Credentials with (simulated) Intel SGX")
+	fmt.Println()
+
+	// 1. Assemble the deployment: EPID group + IAS, one SGX/IMA container
+	//    host, the Verification Manager with its CA, and a Floodlight-like
+	//    controller in trusted-HTTPS mode over a one-switch fabric.
+	d, err := core.NewDeployment(core.Options{
+		Model:   simtime.DefaultCosts(), // realistic SGX/IAS/WAN costs
+		Mode:    controller.ModeTrustedHTTPS,
+		Trust:   controller.TrustCA,
+		TLSMode: enclaveapp.TLSFullSession, // the paper's implementation
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	fmt.Printf("controller listening (trusted HTTPS): %s\n", d.ControllerURL())
+
+	// 2. Deploy the firewall VNF container; its execution is measured by
+	//    IMA, and a credential enclave (TEE 1 in Figure 1) is launched.
+	if err := d.DeployVNF(0, "fw-1", "firewall"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed container vnf-firewall:1.0 as fw-1 (execution measured by IMA)")
+
+	// 3. Record the known-good measurement baseline.
+	if err := d.LearnGolden(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run the six-step workflow.
+	res, err := d.RunWorkflow(0, []vnf.VNF{core.StandardFirewall("fw-1")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFigure-1 workflow trace:")
+	fmt.Print(res.String())
+
+	// 5. Show the effect on the forwarding plane: the firewall the VNF
+	//    pushed over its enclave-authenticated session allows HTTPS to
+	//    the service subnet and drops SSH.
+	https := netsim.Packet{
+		IPSrc: netip.MustParseAddr("192.168.1.5"), IPDst: netip.MustParseAddr("10.0.0.10"),
+		Proto: netsim.ProtoTCP, DstPort: 443, Payload: []byte("GET /"),
+	}
+	del, err := d.Network.Inject("00:00:01", 1, https)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npacket %v: delivered=%v host=%s\n", https, del.Delivered, del.Host)
+	ssh := https
+	ssh.DstPort = 22
+	del, err = d.Network.Inject("00:00:01", 1, ssh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packet %v: dropped=%v\n", ssh, del.Dropped)
+
+	for _, e := range d.VM.Enrollments() {
+		fmt.Printf("\nenrolled: %s on %s, certificate serial %s (CN=%s), enclave %s...\n",
+			e.VNF, e.Host, e.Serial, e.CommonName, e.EnclaveMeasurement.String()[:16])
+	}
+	fmt.Println("\nquickstart complete: credentials never left the enclave.")
+}

@@ -1,0 +1,98 @@
+// Security modes: reproduces the paper's §3 discussion of Floodlight's
+// three REST security modes and the keystore-vs-CA trust problem. For
+// each mode it shows who can reach the controller, then demonstrates why
+// the paper provisions a CA instead of per-certificate keystore entries.
+//
+//	go run ./examples/security-modes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/core"
+	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/simtime"
+)
+
+func outcome(err error) string {
+	if err != nil {
+		return "REJECTED"
+	}
+	return "accepted"
+}
+
+func main() {
+	fmt.Println("Floodlight's three security modes (paper §3)")
+	modes := []struct {
+		mode  controller.SecurityMode
+		trust controller.TrustModel
+		label string
+	}{
+		{controller.ModeHTTP, controller.TrustCA, "non-secure (plain HTTP)"},
+		{controller.ModeHTTPS, controller.TrustCA, "HTTPS (server auth only)"},
+		{controller.ModeTrustedHTTPS, controller.TrustCA, "trusted HTTPS (client auth, CA trust)"},
+		{controller.ModeTrustedHTTPS, controller.TrustKeystore, "trusted HTTPS (client auth, keystore)"},
+	}
+	for _, m := range modes {
+		fmt.Printf("\n== %s ==\n", m.label)
+		d, err := core.NewDeployment(core.Options{
+			Mode: m.mode, Trust: m.trust, Model: simtime.ZeroCosts(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := d.DeployVNF(0, "fw-1", "firewall"); err != nil {
+			log.Fatal(err)
+		}
+		if err := d.LearnGolden(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := d.VM.AttestHost(d.HostName(0)); err != nil {
+			log.Fatal(err)
+		}
+		enr, err := d.VM.EnrollVNF(d.HostName(0), "fw-1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ce, err := d.Hosts[0].CredentialEnclave("fw-1")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Anonymous client (no certificate).
+		anon := controller.NewClient(d.ControllerURL(), nil)
+		_, anonErr := anon.Health()
+		fmt.Printf("  anonymous client:            %s\n", outcome(anonErr))
+
+		// Enrolled VNF with enclave credentials.
+		var vnfErr error
+		if m.mode == controller.ModeHTTP {
+			_, vnfErr = anon.Health()
+		} else {
+			cfg, err := ce.ClientTLSConfig(core.ServerName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, vnfErr = controller.NewClient(d.ControllerURL(), cfg).Health()
+		}
+		fmt.Printf("  enrolled VNF (CA-signed):    %s\n", outcome(vnfErr))
+
+		if m.trust == controller.TrustKeystore && m.mode == controller.ModeTrustedHTTPS {
+			// The paper's point: a CA-signed certificate is NOT enough in
+			// keystore mode — the operator must pin every new certificate.
+			fmt.Println("  -> keystore mode rejected the valid CA-signed certificate;")
+			d.Server.PinCertificate(enr.Cert)
+			cfg, err := ce.ClientTLSConfig(core.ServerName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, afterPin := controller.NewClient(d.ControllerURL(), cfg).Health()
+			fmt.Printf("  after manual keystore update: %s\n", outcome(afterPin))
+			fmt.Println("  -> the paper's fix: provision one CA, validate signatures (O(1) trust updates).")
+		}
+		_ = enclaveapp.TLSKeyInEnclave
+		d.Close()
+	}
+}

@@ -1,0 +1,131 @@
+package controller
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+
+	"vnfguard/internal/netsim"
+)
+
+// Client is a north-bound REST client (what a VNF uses to talk to the
+// controller, step 6 of the workflow).
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client. tlsCfg may be nil for plain HTTP endpoints;
+// for trusted-HTTPS it should come from the credential enclave
+// (enclaveapp.ClientTLSConfig) so the private key stays enclave-resident.
+func NewClient(baseURL string, tlsCfg *tls.Config) *Client {
+	transport := &http.Transport{TLSClientConfig: tlsCfg}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Transport: transport},
+	}
+}
+
+// NewClientWithDialer builds a client whose TLS connections are produced
+// by dial — used for full-session-in-enclave mode, where the dialer
+// returns an enclave-managed connection and the HTTP layer never sees key
+// material or session state.
+func NewClientWithDialer(baseURL string, dial func(ctx context.Context, network, addr string) (net.Conn, error)) *Client {
+	transport := &http.Transport{
+		DialTLSContext: dial,
+		// The in-enclave session is established per connection; disable
+		// idle pooling so transitions are attributable per request burst.
+		DisableKeepAlives: false,
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Transport: transport},
+	}
+}
+
+// CloseIdle releases pooled connections.
+func (c *Client) CloseIdle() { c.http.CloseIdleConnections() }
+
+func (c *Client) do(method, path string, body, out any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("controller client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("controller client: %s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("controller client: decoding %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Summary fetches deployment counts.
+func (c *Client) Summary() (Summary, error) {
+	var s Summary
+	err := c.do(http.MethodGet, PathSummary, nil, &s)
+	return s, err
+}
+
+// Health checks the controller health resource.
+func (c *Client) Health() (bool, error) {
+	var out map[string]bool
+	if err := c.do(http.MethodGet, PathHealth, nil, &out); err != nil {
+		return false, err
+	}
+	return out["healthy"], nil
+}
+
+// Links fetches the topology links.
+func (c *Client) Links() ([]netsim.LinkInfo, error) {
+	var out []netsim.LinkInfo
+	err := c.do(http.MethodGet, PathLinks, nil, &out)
+	return out, err
+}
+
+// PushFlow installs a static flow entry.
+func (c *Client) PushFlow(spec FlowSpec) error {
+	return c.do(http.MethodPost, PathStaticFlow, spec, nil)
+}
+
+// DeleteFlow removes a static flow entry by name.
+func (c *Client) DeleteFlow(name string) error {
+	return c.do(http.MethodDelete, PathStaticFlow, map[string]string{"name": name}, nil)
+}
+
+// ListFlows fetches static flows on one switch.
+func (c *Client) ListFlows(dpid string) (map[string]FlowSpec, error) {
+	var out map[string]map[string]FlowSpec
+	if err := c.do(http.MethodGet, PathFlowList+dpid+"/json", nil, &out); err != nil {
+		return nil, err
+	}
+	return out[dpid], nil
+}

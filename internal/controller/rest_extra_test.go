@@ -1,0 +1,95 @@
+package controller
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vnfguard/internal/netsim"
+)
+
+func TestDevicesEndpoint(t *testing.T) {
+	c := New("ctrl", testNet(t))
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + PathDevices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var devices []struct {
+		Host string `json:"host"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&devices); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 2 || devices[0].Host != "h1" {
+		t.Fatalf("devices = %v", devices)
+	}
+}
+
+func TestPrincipalEmptyWithoutTLS(t *testing.T) {
+	c := New("ctrl", testNet(t))
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	body := strings.NewReader(`{"name":"f","switch":"00:00:01","actions":"output=2"}`)
+	resp, err := http.Post(srv.URL+PathStaticFlow, "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	flows := c.FlowsOn("00:00:01")
+	if len(flows) != 1 || flows[0].PushedBy != "" {
+		t.Fatalf("flows = %+v", flows)
+	}
+}
+
+func TestFlowListUnknownSwitchEmpty(t *testing.T) {
+	c := New("ctrl", testNet(t))
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + PathFlowList + "ghost/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]map[string]FlowSpec
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["ghost"]) != 0 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestDeleteFlowMalformedBody(t *testing.T) {
+	c := New("ctrl", testNet(t))
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+PathStaticFlow, strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestPacketInCounting(t *testing.T) {
+	n := testNet(t)
+	c := New("ctrl", n)
+	// Table miss punts to the controller via the installed handler.
+	if _, err := n.Inject("00:00:01", 1, netsim.Packet{Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if c.PacketIns() != 1 {
+		t.Fatalf("packet-ins = %d", c.PacketIns())
+	}
+}

@@ -1,0 +1,191 @@
+package controller
+
+import (
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SecurityMode is one of Floodlight's three REST API security modes.
+type SecurityMode int
+
+// Security modes (paper §3: "Floodlight supports three different security
+// modes for the REST API, non-secure (plain HTTP), HTTPS and trusted HTTPS
+// (with client authentication)").
+const (
+	ModeHTTP SecurityMode = iota
+	ModeHTTPS
+	ModeTrustedHTTPS
+)
+
+// String names the mode for experiment tables.
+func (m SecurityMode) String() string {
+	switch m {
+	case ModeHTTP:
+		return "http"
+	case ModeHTTPS:
+		return "https"
+	case ModeTrustedHTTPS:
+		return "trusted-https"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// TrustModel selects how trusted-HTTPS validates clients.
+type TrustModel int
+
+// Trust models.
+const (
+	// TrustCA validates client certificates against a trusted CA — the
+	// paper's design: "we solve this by provisioning the controller with
+	// a trusted certificate authority, rather than all client
+	// certificates".
+	TrustCA TrustModel = iota
+	// TrustKeystore pins individual client certificates (Floodlight's
+	// stock behaviour, kept as the E4 ablation: every new credential
+	// requires a keystore update).
+	TrustKeystore
+)
+
+// ServerConfig configures a controller REST endpoint.
+type ServerConfig struct {
+	Mode SecurityMode
+	// Cert is the server certificate (HTTPS modes).
+	Cert tls.Certificate
+	// Trust selects CA or keystore validation in trusted mode.
+	Trust TrustModel
+	// ClientCAs is the trusted CA pool (TrustCA).
+	ClientCAs *x509.CertPool
+	// Keystore holds hex SHA-256 fingerprints of pinned client
+	// certificates (TrustKeystore).
+	Keystore map[string]bool
+	// Revoked, when set, rejects revoked client certificates (CRL check
+	// against the Verification Manager's CRL).
+	Revoked func(*x509.Certificate) error
+}
+
+// Fingerprint computes the keystore key for a certificate.
+func Fingerprint(cert *x509.Certificate) string {
+	sum := sha256.Sum256(cert.Raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Server is a running controller REST endpoint.
+type Server struct {
+	cfg  ServerConfig
+	ln   net.Listener
+	http *http.Server
+
+	mu       sync.Mutex
+	keystore map[string]bool
+}
+
+// ErrNotPinned reports a client certificate absent from the keystore.
+var ErrNotPinned = errors.New("controller: client certificate not in keystore")
+
+// Serve starts the controller's REST endpoint on addr (e.g. 127.0.0.1:0).
+func Serve(ctrl *Controller, cfg ServerConfig, addr string) (*Server, error) {
+	s := &Server{cfg: cfg, keystore: cfg.Keystore}
+	if s.keystore == nil {
+		s.keystore = make(map[string]bool)
+	}
+	handler := ctrl.Handler()
+	s.http = &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Rejected client certificates are the expected outcome of the
+		// negative-path experiments; keep them off stderr.
+		ErrorLog: log.New(io.Discard, "", 0),
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("controller: listen: %w", err)
+	}
+
+	switch cfg.Mode {
+	case ModeHTTP:
+		s.ln = ln
+	case ModeHTTPS:
+		s.ln = tls.NewListener(ln, &tls.Config{
+			MinVersion:   tls.VersionTLS12,
+			Certificates: []tls.Certificate{cfg.Cert},
+		})
+	case ModeTrustedHTTPS:
+		tcfg := &tls.Config{
+			MinVersion:   tls.VersionTLS12,
+			Certificates: []tls.Certificate{cfg.Cert},
+		}
+		switch cfg.Trust {
+		case TrustCA:
+			if cfg.ClientCAs == nil {
+				ln.Close()
+				return nil, errors.New("controller: trusted mode requires ClientCAs")
+			}
+			tcfg.ClientAuth = tls.RequireAndVerifyClientCert
+			tcfg.ClientCAs = cfg.ClientCAs
+			tcfg.VerifyPeerCertificate = VerifyClientChain(cfg.ClientCAs, cfg.Revoked)
+		case TrustKeystore:
+			tcfg.ClientAuth = tls.RequireAnyClientCert
+			tcfg.VerifyPeerCertificate = func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+				if len(rawCerts) == 0 {
+					return ErrNotPinned
+				}
+				sum := sha256.Sum256(rawCerts[0])
+				s.mu.Lock()
+				ok := s.keystore[hex.EncodeToString(sum[:])]
+				s.mu.Unlock()
+				if !ok {
+					return ErrNotPinned
+				}
+				if cfg.Revoked != nil {
+					cert, err := x509.ParseCertificate(rawCerts[0])
+					if err != nil {
+						return err
+					}
+					return cfg.Revoked(cert)
+				}
+				return nil
+			}
+		}
+		s.ln = tls.NewListener(ln, tcfg)
+	default:
+		ln.Close()
+		return nil, fmt.Errorf("controller: unknown security mode %d", cfg.Mode)
+	}
+
+	go s.http.Serve(s.ln)
+	return s, nil
+}
+
+// PinCertificate adds a client certificate to the keystore (the manual
+// maintenance step the paper's CA design eliminates).
+func (s *Server) PinCertificate(cert *x509.Certificate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keystore[Fingerprint(cert)] = true
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the endpoint base URL.
+func (s *Server) URL() string {
+	if s.cfg.Mode == ModeHTTP {
+		return "http://" + s.Addr()
+	}
+	return "https://" + s.Addr()
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.http.Close() }

@@ -1,0 +1,256 @@
+package enclaveapp
+
+import (
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"vnfguard/internal/sgx"
+	"vnfguard/internal/tpm"
+)
+
+// OCALL names served by the host runtime for the attestation enclave.
+const (
+	OCallReadIML  = "read_iml"
+	OCallTPMQuote = "tpm_quote"
+)
+
+// attestationEnclaveVersion is measured into MRENCLAVE; bumping it (or
+// tampering with it) changes the enclave identity the Verification Manager
+// expects.
+const attestationEnclaveVersion = "vnfguard attestation enclave v1"
+
+// HostServices are the untrusted host facilities the attestation enclave
+// reaches through OCALLs.
+type HostServices struct {
+	// ReadIML snapshots the host's IMA measurement list.
+	ReadIML func() (string, error)
+	// TPMQuote obtains a TPM quote over the IMA PCR with the given
+	// freshness nonce. Nil when the host has no TPM (the paper's baseline
+	// configuration; §4 notes the resulting tampering exposure).
+	TPMQuote func(nonce []byte) (*tpm.Quote, error)
+}
+
+// HostEvidence is the bundle the Verification Manager appraises in step 2.
+type HostEvidence struct {
+	// IML is the serialized measurement list.
+	IML string `json:"iml"`
+	// Nonce is the challenger-chosen freshness value.
+	Nonce []byte `json:"nonce"`
+	// TPMQuote is the optional hardware-rooted quote over the IMA PCR.
+	TPMQuote *tpm.Quote `json:"tpm_quote,omitempty"`
+	// Quote is the encoded SGX quote whose report data binds all of the
+	// above.
+	Quote []byte `json:"quote"`
+}
+
+// BindingDigest computes the report-data binding over the evidence fields.
+// Verifiers recompute it and compare against the quoted report data.
+func (ev *HostEvidence) BindingDigest() [32]byte {
+	h := sha256.New()
+	h.Write([]byte(ev.IML))
+	h.Write(ev.Nonce)
+	if ev.TPMQuote != nil {
+		b, _ := json.Marshal(ev.TPMQuote)
+		h.Write(b)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// AttestationEnclave wraps the launched integrity-attestation enclave.
+type AttestationEnclave struct {
+	enclave  *sgx.Enclave
+	platform *sgx.Platform
+	spid     sgx.SPID
+}
+
+// AttestationEnclaveOption configures construction.
+type AttestationEnclaveOption func(*attestationConfig)
+
+type attestationConfig struct {
+	codeVersion string
+}
+
+// WithAttestationCode overrides the measured code bytes — used by tests
+// and the compromised-host example to model a tampered enclave build.
+func WithAttestationCode(version string) AttestationEnclaveOption {
+	return func(c *attestationConfig) { c.codeVersion = version }
+}
+
+// evidenceRequest is the ECALL argument.
+type evidenceRequest struct {
+	NonceB64 string `json:"nonce"`
+	UseTPM   bool   `json:"use_tpm"`
+}
+
+// evidenceReply is the ECALL result (report still needs quoting).
+type evidenceReply struct {
+	IML       string     `json:"iml"`
+	TPMQuote  *tpm.Quote `json:"tpm_quote,omitempty"`
+	ReportB64 string     `json:"report"`
+}
+
+// NewAttestationEnclave launches the attestation enclave on a platform.
+// signer is the ISV vendor key; host provides the OCALL services.
+func NewAttestationEnclave(p *sgx.Platform, signer *ecdsa.PrivateKey, host HostServices, spid sgx.SPID, opts ...AttestationEnclaveOption) (*AttestationEnclave, error) {
+	if host.ReadIML == nil {
+		return nil, errors.New("enclaveapp: attestation enclave requires ReadIML host service")
+	}
+	cfg := attestationConfig{codeVersion: attestationEnclaveVersion}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	spec := sgx.EnclaveSpec{
+		Name:       "integrity-attestation",
+		ProdID:     1,
+		SVN:        1,
+		Attributes: sgx.Attributes{Mode64: true},
+		HeapPages:  8,
+		Modules: []sgx.CodeModule{{
+			Name: "attestation",
+			Code: []byte(cfg.codeVersion),
+			Handlers: map[string]sgx.ECallHandler{
+				"host_evidence": handleHostEvidence(p),
+			},
+		}},
+	}
+	ss, err := sgx.SignEnclave(spec, signer)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.Launch(spec, ss)
+	if err != nil {
+		return nil, err
+	}
+	e.SetOCallHandler(func(name string, payload []byte) ([]byte, error) {
+		switch name {
+		case OCallReadIML:
+			iml, err := host.ReadIML()
+			if err != nil {
+				return nil, err
+			}
+			return []byte(iml), nil
+		case OCallTPMQuote:
+			if host.TPMQuote == nil {
+				return nil, errors.New("host has no TPM")
+			}
+			q, err := host.TPMQuote(payload)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(q)
+		default:
+			return nil, fmt.Errorf("enclaveapp: unknown ocall %q", name)
+		}
+	})
+	return &AttestationEnclave{enclave: e, platform: p, spid: spid}, nil
+}
+
+// handleHostEvidence is the enclave's ECALL: gather the IML (and TPM quote
+// when requested) via OCALLs, bind them into report data, and emit a local
+// report targeted at the quoting enclave.
+func handleHostEvidence(p *sgx.Platform) sgx.ECallHandler {
+	return func(ctx *sgx.Context, args []byte) ([]byte, error) {
+		var req evidenceRequest
+		if err := json.Unmarshal(args, &req); err != nil {
+			return nil, fmt.Errorf("enclaveapp: evidence request: %w", err)
+		}
+		nonce, err := base64.StdEncoding.DecodeString(req.NonceB64)
+		if err != nil {
+			return nil, fmt.Errorf("enclaveapp: evidence nonce: %w", err)
+		}
+		imlBytes, err := ctx.OCall(OCallReadIML, nil)
+		if err != nil {
+			return nil, fmt.Errorf("enclaveapp: reading IML: %w", err)
+		}
+		reply := evidenceReply{IML: string(imlBytes)}
+		ev := HostEvidence{IML: reply.IML, Nonce: nonce}
+		if req.UseTPM {
+			raw, err := ctx.OCall(OCallTPMQuote, nonce)
+			if err != nil {
+				return nil, fmt.Errorf("enclaveapp: TPM quote: %w", err)
+			}
+			var q tpm.Quote
+			if err := json.Unmarshal(raw, &q); err != nil {
+				return nil, fmt.Errorf("enclaveapp: TPM quote decode: %w", err)
+			}
+			reply.TPMQuote = &q
+			ev.TPMQuote = &q
+		}
+		rd := sgx.ReportDataFromHash(ev.BindingDigest())
+		report := ctx.Report(p.QE().TargetInfo(), rd)
+		reply.ReportB64 = base64.StdEncoding.EncodeToString(sgx.EncodeReport(report))
+		return json.Marshal(reply)
+	}
+}
+
+// CollectEvidence runs the full evidence flow: ECALL into the enclave,
+// then quote the resulting report at the platform QE.
+func (a *AttestationEnclave) CollectEvidence(nonce []byte, useTPM bool) (*HostEvidence, error) {
+	args, err := json.Marshal(evidenceRequest{
+		NonceB64: base64.StdEncoding.EncodeToString(nonce),
+		UseTPM:   useTPM,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := a.enclave.ECall("host_evidence", args)
+	if err != nil {
+		return nil, err
+	}
+	var reply evidenceReply
+	if err := json.Unmarshal(out, &reply); err != nil {
+		return nil, fmt.Errorf("enclaveapp: evidence reply: %w", err)
+	}
+	reportBytes, err := base64.StdEncoding.DecodeString(reply.ReportB64)
+	if err != nil {
+		return nil, err
+	}
+	report, err := sgx.DecodeReport(reportBytes)
+	if err != nil {
+		return nil, err
+	}
+	quote, err := a.platform.QE().GetQuote(report, a.spid, sgx.QuoteLinkable)
+	if err != nil {
+		return nil, fmt.Errorf("enclaveapp: quoting host evidence: %w", err)
+	}
+	return &HostEvidence{
+		IML:      reply.IML,
+		Nonce:    append([]byte(nil), nonce...),
+		TPMQuote: reply.TPMQuote,
+		Quote:    quote.Encode(),
+	}, nil
+}
+
+// Identity returns the enclave's launched identity (for golden-value
+// registration at the Verification Manager).
+func (a *AttestationEnclave) Identity() sgx.Identity { return a.enclave.Identity() }
+
+// Destroy tears down the enclave.
+func (a *AttestationEnclave) Destroy() { a.enclave.Destroy() }
+
+// ExpectedMeasurement computes the MRENCLAVE of the canonical attestation
+// enclave build (what the Verification Manager pins).
+func ExpectedAttestationMeasurement(signer *ecdsa.PrivateKey) (sgx.Measurement, error) {
+	spec := sgx.EnclaveSpec{
+		Name:       "integrity-attestation",
+		ProdID:     1,
+		SVN:        1,
+		Attributes: sgx.Attributes{Mode64: true},
+		HeapPages:  8,
+		Modules: []sgx.CodeModule{{
+			Name: "attestation",
+			Code: []byte(attestationEnclaveVersion),
+		}},
+	}
+	ss, err := sgx.SignEnclave(spec, signer)
+	if err != nil {
+		return sgx.Measurement{}, err
+	}
+	return ss.Measurement, nil
+}

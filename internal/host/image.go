@@ -1,0 +1,145 @@
+// Package host models the container host of the paper's deployment: a
+// platform with SGX, Linux IMA (optionally TPM-anchored), a Docker-like
+// container runtime whose executions feed the measurement list, and the
+// host agent that exposes attestation and enclave access to the
+// Verification Manager.
+package host
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Layer is one content-addressed image layer.
+type Layer struct {
+	// Files maps absolute paths to contents.
+	Files map[string][]byte
+}
+
+// Digest computes the layer's content digest over sorted paths.
+func (l Layer) Digest() string {
+	paths := make([]string, 0, len(l.Files))
+	for p := range l.Files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+		h.Write(l.Files[p])
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Image is a layered container image.
+type Image struct {
+	Name   string
+	Tag    string
+	Layers []Layer
+	// Entrypoint is the binary executed at container start (measured via
+	// BPRM_CHECK).
+	Entrypoint string
+	// Configs are files read at startup (measured via FILE_CHECK when the
+	// policy selects them).
+	Configs []string
+}
+
+// Ref returns name:tag.
+func (im *Image) Ref() string { return im.Name + ":" + im.Tag }
+
+// Digest computes the image manifest digest (over layer digests and
+// metadata).
+func (im *Image) Digest() string {
+	h := sha256.New()
+	h.Write([]byte(im.Ref()))
+	h.Write([]byte(im.Entrypoint))
+	for _, c := range im.Configs {
+		h.Write([]byte(c))
+	}
+	for _, l := range im.Layers {
+		h.Write([]byte(l.Digest()))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Flatten merges layers into a filesystem view (later layers win).
+func (im *Image) Flatten() map[string][]byte {
+	fs := make(map[string][]byte)
+	for _, l := range im.Layers {
+		for p, content := range l.Files {
+			fs[p] = append([]byte(nil), content...)
+		}
+	}
+	return fs
+}
+
+// Validate checks structural invariants before a run.
+func (im *Image) Validate() error {
+	if im.Name == "" || im.Tag == "" {
+		return errors.New("host: image requires name and tag")
+	}
+	if im.Entrypoint == "" {
+		return errors.New("host: image requires an entrypoint")
+	}
+	fs := im.Flatten()
+	if _, ok := fs[im.Entrypoint]; !ok {
+		return fmt.Errorf("host: entrypoint %q not present in image", im.Entrypoint)
+	}
+	for _, c := range im.Configs {
+		if _, ok := fs[c]; !ok {
+			return fmt.Errorf("host: config %q not present in image", c)
+		}
+	}
+	return nil
+}
+
+// Registry is a content store for images.
+type Registry struct {
+	mu     sync.Mutex
+	images map[string]*Image
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{images: make(map[string]*Image)}
+}
+
+// Push stores an image.
+func (r *Registry) Push(im *Image) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.images[im.Ref()] = im
+	return nil
+}
+
+// Pull fetches an image by ref.
+func (r *Registry) Pull(ref string) (*Image, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	im, ok := r.images[ref]
+	if !ok {
+		return nil, fmt.Errorf("host: image %q not found", ref)
+	}
+	return im, nil
+}
+
+// List returns sorted refs.
+func (r *Registry) List() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.images))
+	for ref := range r.images {
+		out = append(out, ref)
+	}
+	sort.Strings(out)
+	return out
+}

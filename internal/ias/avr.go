@@ -1,0 +1,139 @@
+package ias
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/base64"
+	"encoding/json"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync/atomic"
+	"time"
+
+	"vnfguard/internal/sgx"
+)
+
+// AVR is an Attestation Verification Report: the service's signed verdict
+// on one quote. Field names follow the IAS API JSON.
+type AVR struct {
+	ID                    string `json:"id"`
+	Timestamp             string `json:"timestamp"`
+	Version               int    `json:"version"`
+	ISVEnclaveQuoteStatus string `json:"isvEnclaveQuoteStatus"`
+	ISVEnclaveQuoteBody   string `json:"isvEnclaveQuoteBody"` // base64 of the verified quote
+	Nonce                 string `json:"nonce,omitempty"`
+}
+
+// Status returns the typed quote status.
+func (a *AVR) Status() QuoteStatus { return QuoteStatus(a.ISVEnclaveQuoteStatus) }
+
+// Quote decodes the echoed quote body.
+func (a *AVR) Quote() (*sgx.Quote, error) {
+	raw, err := base64.StdEncoding.DecodeString(a.ISVEnclaveQuoteBody)
+	if err != nil {
+		return nil, fmt.Errorf("ias: decoding AVR quote body: %w", err)
+	}
+	return sgx.DecodeQuote(raw)
+}
+
+// SignedAVR couples the raw report bytes with the service signature, the
+// unit of evidence a challenger stores and can show to auditors.
+type SignedAVR struct {
+	Body      []byte // exact JSON the signature covers
+	Signature []byte // ASN.1 ECDSA over SHA-256(Body)
+}
+
+// Report parses the body.
+func (s *SignedAVR) Report() (*AVR, error) {
+	var a AVR
+	if err := json.Unmarshal(s.Body, &a); err != nil {
+		return nil, fmt.Errorf("ias: parsing AVR: %w", err)
+	}
+	return &a, nil
+}
+
+// ErrAVRSignature reports an AVR whose signature does not verify against
+// the pinned report-signing certificate.
+var ErrAVRSignature = errors.New("ias: AVR signature invalid")
+
+// VerifyAVR checks the signature over an AVR body against the signing
+// certificate.
+func VerifyAVR(signingCert *x509.Certificate, s *SignedAVR) error {
+	pub, ok := signingCert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return errors.New("ias: signing certificate is not ECDSA")
+	}
+	digest := sha256.Sum256(s.Body)
+	if !ecdsa.VerifyASN1(pub, digest[:], s.Signature) {
+		return ErrAVRSignature
+	}
+	return nil
+}
+
+// reportSigner holds the service's report-signing key and certificate
+// (stand-in for the Intel-rooted "SGX Attestation Report Signing" cert).
+type reportSigner struct {
+	key    *ecdsa.PrivateKey
+	cert   *x509.Certificate
+	serial atomic.Int64
+}
+
+func newReportSigner() (*reportSigner, error) {
+	key, err := ecdsa.GenerateKey(ecdsaCurve, rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("ias: generating signing key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "vnfguard Attestation Report Signing", Organization: []string{"vnfguard-ias"}},
+		NotBefore:             time.Now().Add(-time.Minute),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("ias: self-signing report cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &reportSigner{key: key, cert: cert}, nil
+}
+
+func (rs *reportSigner) certPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: rs.cert.Raw})
+}
+
+func (rs *reportSigner) sign(status QuoteStatus, quoteBytes []byte, nonce string) (*AVR, error) {
+	id := rs.serial.Add(1)
+	avr := &AVR{
+		ID:                    fmt.Sprintf("%024d", id),
+		Timestamp:             time.Now().UTC().Format("2006-01-02T15:04:05.999999"),
+		Version:               4,
+		ISVEnclaveQuoteStatus: string(status),
+		ISVEnclaveQuoteBody:   base64.StdEncoding.EncodeToString(quoteBytes),
+		Nonce:                 nonce,
+	}
+	return avr, nil
+}
+
+// Sign produces the transportable signed form of an AVR.
+func (s *Service) Sign(avr *AVR) (*SignedAVR, error) {
+	body, err := json.Marshal(avr)
+	if err != nil {
+		return nil, fmt.Errorf("ias: marshaling AVR: %w", err)
+	}
+	digest := sha256.Sum256(body)
+	sig, err := ecdsa.SignASN1(rand.Reader, s.signer.key, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("ias: signing AVR: %w", err)
+	}
+	return &SignedAVR{Body: body, Signature: sig}, nil
+}

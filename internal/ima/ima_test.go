@@ -1,0 +1,314 @@
+package ima
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vnfguard/internal/simtime"
+)
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy(`
+# comment
+dont_measure fsmagic=0x9fa0
+measure func=BPRM_CHECK mask=MAY_EXEC
+measure func=FILE_CHECK mask=MAY_READ uid=0 path=/etc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 3 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	if p.Rules[0].Measure || !p.Rules[0].FSMagicSet || p.Rules[0].FSMagic != 0x9fa0 {
+		t.Fatalf("rule 0 = %+v", p.Rules[0])
+	}
+	if !p.Rules[2].UIDSet || p.Rules[2].UID != 0 || p.Rules[2].PathPrefix != "/etc" {
+		t.Fatalf("rule 2 = %+v", p.Rules[2])
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate func=BPRM_CHECK",
+		"measure func=NO_SUCH_HOOK",
+		"measure mask=MAY_FLY",
+		"measure uid=root",
+		"measure fsmagic=zz",
+		"measure oddterm",
+		"measure color=red",
+	}
+	for _, c := range cases {
+		if _, err := ParsePolicy(c); err == nil {
+			t.Errorf("policy %q accepted", c)
+		}
+	}
+}
+
+func TestPolicyFirstMatchWins(t *testing.T) {
+	p, err := ParsePolicy(`
+dont_measure path=/proc
+measure func=FILE_CHECK mask=MAY_READ
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShouldMeasure(Event{Path: "/proc/self/status", Hook: HookFileCheck, Mask: MayRead}) {
+		t.Fatal("dont_measure rule not honored")
+	}
+	if !p.ShouldMeasure(Event{Path: "/usr/bin/vnf", Hook: HookFileCheck, Mask: MayRead}) {
+		t.Fatal("measure rule not honored")
+	}
+}
+
+func TestPolicyDefaultDeny(t *testing.T) {
+	p := &Policy{}
+	if p.ShouldMeasure(Event{Path: "/x", Hook: HookBprmCheck, Mask: MayExec}) {
+		t.Fatal("empty policy measured")
+	}
+}
+
+func TestDefaultPolicyMeasuresRootExec(t *testing.T) {
+	p := DefaultPolicy()
+	if !p.ShouldMeasure(Event{Path: "/usr/bin/vnf", Hook: HookBprmCheck, Mask: MayExec, UID: 0}) {
+		t.Fatal("exec not measured")
+	}
+	if p.ShouldMeasure(Event{Path: "/proc/cpuinfo", Hook: HookFileCheck, Mask: MayRead, UID: 0, FSMagic: 0x9fa0}) {
+		t.Fatal("procfs measured")
+	}
+	if !p.ShouldMeasure(Event{Path: "/etc/vnf.conf", Hook: HookFileCheck, Mask: MayRead, UID: 0}) {
+		t.Fatal("/etc config read by root not measured")
+	}
+	if p.ShouldMeasure(Event{Path: "/home/u/notes.txt", Hook: HookFileCheck, Mask: MayRead, UID: 1000}) {
+		t.Fatal("non-root read measured")
+	}
+}
+
+func TestMaskRoundTrip(t *testing.T) {
+	for _, s := range []string{"MAY_EXEC", "MAY_READ|MAY_WRITE", "MAY_EXEC|MAY_READ|MAY_WRITE"} {
+		m, err := ParseMask(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.String() != s {
+			t.Errorf("round trip %q -> %q", s, m.String())
+		}
+	}
+	if Mask(0).String() != "0" {
+		t.Error("zero mask string")
+	}
+}
+
+func TestListAppendAndAggregate(t *testing.T) {
+	l := NewList([]byte("boot"))
+	if l.Len() != 1 {
+		t.Fatalf("new list has %d entries, want boot_aggregate only", l.Len())
+	}
+	agg0 := l.Aggregate()
+	l.Append(sha256.Sum256([]byte("binary")), "/usr/bin/vnf")
+	if l.Aggregate() == agg0 {
+		t.Fatal("aggregate did not change on append")
+	}
+}
+
+func TestListSerializeParseRoundTrip(t *testing.T) {
+	l := NewList([]byte("boot-state"))
+	for i := 0; i < 10; i++ {
+		l.Append(sha256.Sum256([]byte{byte(i)}), fmt.Sprintf("/bin/tool%d", i))
+	}
+	parsed, err := ParseList(l.Serialize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Aggregate() != l.Aggregate() {
+		t.Fatal("aggregate mismatch after round trip")
+	}
+	if parsed.Len() != l.Len() {
+		t.Fatal("length mismatch after round trip")
+	}
+}
+
+func TestParseListRejectsTamper(t *testing.T) {
+	l := NewList([]byte("b"))
+	l.Append(sha256.Sum256([]byte("x")), "/bin/x")
+	text := l.Serialize()
+	// Change the path without fixing the template hash.
+	tampered := strings.Replace(text, "/bin/x", "/bin/y", 1)
+	if _, err := ParseList(tampered); err == nil {
+		t.Fatal("path tamper accepted")
+	}
+	// Malformed lines.
+	for _, bad := range []string{
+		"10 zz ima-ng sha256:aa /x",
+		"11 " + strings.Repeat("a", 64) + " ima-ng sha256:" + strings.Repeat("b", 64) + " /x",
+		"10 " + strings.Repeat("a", 64) + " ima-sig sha256:" + strings.Repeat("b", 64) + " /x",
+		"10 " + strings.Repeat("a", 64) + " ima-ng md5:" + strings.Repeat("b", 64) + " /x",
+		"10 short",
+	} {
+		if _, err := ParseList(bad); err == nil {
+			t.Errorf("malformed line accepted: %q", bad)
+		}
+	}
+}
+
+func TestAggregateOrderSensitive(t *testing.T) {
+	// Property: permuting the measurement order changes the aggregate
+	// (PCR-extend is order-sensitive), while identical order reproduces it.
+	f := func(a, b []byte) bool {
+		h1, h2 := sha256.Sum256(a), sha256.Sum256(b)
+		if h1 == h2 {
+			return true
+		}
+		l1 := NewList(nil)
+		l1.Append(h1, "/a")
+		l1.Append(h2, "/b")
+		l2 := NewList(nil)
+		l2.Append(h2, "/b")
+		l2.Append(h1, "/a")
+		l3 := NewList(nil)
+		l3.Append(h1, "/a")
+		l3.Append(h2, "/b")
+		return l1.Aggregate() != l2.Aggregate() && l1.Aggregate() == l3.Aggregate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemMeasuresOncePerContent(t *testing.T) {
+	model := simtime.ZeroCosts()
+	s := NewSystem(nil, model, []byte("boot"))
+	ev := Event{Path: "/usr/bin/vnf", Hook: HookBprmCheck, Mask: MayExec, UID: 0}
+	if !s.HandleEvent(ev, []byte("v1")) {
+		t.Fatal("first exec not measured")
+	}
+	if s.HandleEvent(ev, []byte("v1")) {
+		t.Fatal("unchanged content re-measured")
+	}
+	if !s.HandleEvent(ev, []byte("v2")) {
+		t.Fatal("changed content not re-measured")
+	}
+	if got := model.Count(simtime.OpIMAMeasure); got != 2 {
+		t.Fatalf("measure ops = %d, want 2", got)
+	}
+	if s.Len() != 3 { // boot_aggregate + v1 + v2
+		t.Fatalf("list len = %d, want 3", s.Len())
+	}
+}
+
+func TestSystemPCRSink(t *testing.T) {
+	s := NewSystem(nil, nil, []byte("boot"))
+	var extended [][32]byte
+	s.SetPCRSink(func(th [32]byte) { extended = append(extended, th) })
+	s.HandleEvent(Event{Path: "/usr/bin/a", Hook: HookBprmCheck, Mask: MayExec}, []byte("a"))
+	s.HandleEvent(Event{Path: "/usr/bin/b", Hook: HookBprmCheck, Mask: MayExec}, []byte("b"))
+	if len(extended) != 2 {
+		t.Fatalf("sink received %d extends, want 2", len(extended))
+	}
+}
+
+func TestSystemSnapshotConsistency(t *testing.T) {
+	s := NewSystem(nil, nil, []byte("boot"))
+	s.HandleEvent(Event{Path: "/usr/bin/a", Hook: HookBprmCheck, Mask: MayExec}, []byte("a"))
+	text, agg := s.Snapshot()
+	parsed, err := ParseList(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Aggregate() != agg {
+		t.Fatal("snapshot aggregate does not match serialized list")
+	}
+}
+
+func TestGoldenDBAppraisal(t *testing.T) {
+	l := NewList([]byte("boot"))
+	good := sha256.Sum256([]byte("good binary"))
+	l.Append(good, "/usr/bin/vnf")
+
+	db := NewGoldenDB()
+	db.Allow("/usr/bin/vnf", good)
+	db.Require("/usr/bin/vnf")
+
+	res := db.Appraise(l)
+	if !res.Trusted {
+		t.Fatalf("good list rejected: %v", res.Findings)
+	}
+	if res.Appraised != 2 {
+		t.Fatalf("appraised %d entries", res.Appraised)
+	}
+}
+
+func TestGoldenDBDetectsModifiedFile(t *testing.T) {
+	db := NewGoldenDB()
+	db.Allow("/usr/bin/vnf", sha256.Sum256([]byte("good")))
+	l := NewList([]byte("boot"))
+	l.Append(sha256.Sum256([]byte("evil")), "/usr/bin/vnf")
+	res := db.Appraise(l)
+	if res.Trusted {
+		t.Fatal("modified file passed appraisal")
+	}
+	if len(res.Findings) != 1 || !strings.Contains(res.Findings[0].Reason, "hash mismatch") {
+		t.Fatalf("findings = %v", res.Findings)
+	}
+}
+
+func TestGoldenDBUnknownFailClosed(t *testing.T) {
+	db := NewGoldenDB()
+	l := NewList([]byte("boot"))
+	l.Append(sha256.Sum256([]byte("mystery")), "/usr/bin/mystery")
+	if res := db.Appraise(l); res.Trusted {
+		t.Fatal("unknown path trusted under fail-closed policy")
+	}
+	db.AllowUnknown = true
+	if res := db.Appraise(l); !res.Trusted {
+		t.Fatalf("unknown path rejected under AllowUnknown: %v", res.Findings)
+	}
+}
+
+func TestGoldenDBMissingRequired(t *testing.T) {
+	db := NewGoldenDB()
+	db.Require("/usr/bin/vnf")
+	l := NewList([]byte("boot"))
+	res := db.Appraise(l)
+	if res.Trusted {
+		t.Fatal("missing required measurement trusted")
+	}
+	if !strings.Contains(res.Findings[0].Reason, "required measurement missing") {
+		t.Fatalf("findings = %v", res.Findings)
+	}
+}
+
+func TestGoldenDBLearnFromList(t *testing.T) {
+	l := NewList([]byte("boot"))
+	l.Append(sha256.Sum256([]byte("a")), "/a")
+	l.Append(sha256.Sum256([]byte("b")), "/b")
+	db := NewGoldenDB()
+	db.LearnFromList(l)
+	if res := db.Appraise(l); !res.Trusted {
+		t.Fatalf("learned list rejected: %v", res.Findings)
+	}
+}
+
+func TestTamperListSwapsEntries(t *testing.T) {
+	s := NewSystem(nil, nil, []byte("boot"))
+	s.HandleEvent(Event{Path: "/usr/bin/evil", Hook: HookBprmCheck, Mask: MayExec}, []byte("evil"))
+	clean := NewList([]byte("boot"))
+	clean.Append(sha256.Sum256([]byte("good")), "/usr/bin/good")
+	s.TamperList(clean)
+	text, _ := s.Snapshot()
+	if strings.Contains(text, "evil") {
+		t.Fatal("tampered list still shows original entries")
+	}
+}
+
+func TestEntryStringFormat(t *testing.T) {
+	e := NewList(nil).Entries()[0]
+	str := e.String()
+	if !strings.HasPrefix(str, "10 ") || !strings.Contains(str, " ima-ng sha256:") ||
+		!strings.HasSuffix(str, BootAggregatePath) {
+		t.Fatalf("entry format %q", str)
+	}
+}

@@ -1,0 +1,93 @@
+package ima
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"vnfguard/internal/simtime"
+)
+
+// System is the runtime measurement subsystem of one host: it applies the
+// policy to access events, hashes content, deduplicates unchanged files
+// (as the kernel's measurement cache does) and appends to the list.
+type System struct {
+	mu     sync.Mutex
+	policy *Policy
+	list   *List
+	model  *simtime.CostModel
+	// cache holds the last measured content hash per path; re-measurement
+	// happens only when content changes.
+	cache map[string][32]byte
+	// pcrSink, when set, receives every template hash as it is extended —
+	// this is the hardware-root-of-trust hook (TPM PCR 10) implemented
+	// for the paper's future-work experiment (E7).
+	pcrSink func(templateHash [32]byte)
+}
+
+// NewSystem creates a measurement subsystem with the given policy (nil
+// means DefaultPolicy) over the given boot state.
+func NewSystem(policy *Policy, model *simtime.CostModel, bootState []byte) *System {
+	if policy == nil {
+		policy = DefaultPolicy()
+	}
+	return &System{
+		policy: policy,
+		list:   NewList(bootState),
+		model:  model,
+		cache:  make(map[string][32]byte),
+	}
+}
+
+// SetPCRSink installs the TPM-extend hook. Entries already in the list are
+// not replayed; install before the host starts executing workloads.
+func (s *System) SetPCRSink(sink func(templateHash [32]byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pcrSink = sink
+}
+
+// HandleEvent evaluates the policy for an access event and measures the
+// content if required. It reports whether a new measurement was appended.
+func (s *System) HandleEvent(ev Event, content []byte) bool {
+	if !s.policy.ShouldMeasure(ev) {
+		return false
+	}
+	hash := sha256.Sum256(content)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.cache[ev.Path]; ok && prev == hash {
+		return false
+	}
+	s.model.Charge(simtime.OpIMAMeasure)
+	s.cache[ev.Path] = hash
+	e := s.list.Append(hash, ev.Path)
+	if s.pcrSink != nil {
+		s.pcrSink(e.TemplateHash)
+	}
+	return true
+}
+
+// Snapshot returns the serialized measurement list and its aggregate at a
+// single point in time.
+func (s *System) Snapshot() (text string, aggregate [32]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.list.Serialize(), s.list.Aggregate()
+}
+
+// Len reports the number of measurement entries.
+func (s *System) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.list.Len()
+}
+
+// TamperList overwrites the recorded list entries *without* touching any
+// PCR sink — modeling the §4 adversary: root on the host can rewrite the
+// software-held measurement log but cannot rewind a TPM PCR. Used by the
+// E7 experiment and tests only.
+func (s *System) TamperList(replacement *List) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.list = replacement
+}

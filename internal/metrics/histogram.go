@@ -1,0 +1,144 @@
+// Package metrics provides latency histograms, percentile summaries and
+// plain-text table rendering used by the experiment harness (cmd/benchreport)
+// and the examples to report results in the shape of the paper's evaluation.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations and computes order statistics. It keeps raw
+// samples (bounded by MaxSamples via reservoir-free truncation: once full,
+// it switches to bucketed accumulation for count/mean but keeps the first
+// MaxSamples for percentiles, which is adequate for the deterministic
+// workloads in this repo).
+type Histogram struct {
+	mu      sync.Mutex
+	name    string
+	samples []time.Duration
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// MaxSamples bounds per-histogram memory.
+const MaxSamples = 1 << 16
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.MaxInt64}
+}
+
+// Name returns the histogram's name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < MaxSamples {
+		h.samples = append(h.samples, d)
+	}
+}
+
+// Time runs fn and records its wall-clock duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Summary computes count, mean, min, max and the requested percentiles.
+type Summary struct {
+	Name  string
+	Count int64
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Summarize returns the current summary. An empty histogram yields a zero
+// summary with its name set.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Summary{Name: h.name, Count: h.count}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / time.Duration(h.count)
+	s.Min = h.min
+	s.Max = h.max
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.P50 = percentile(sorted, 0.50)
+	s.P95 = percentile(sorted, 0.95)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted slice using
+// nearest-rank. Empty input yields zero.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
+		s.Name, s.Count, round(s.Mean), round(s.P50), round(s.P95), round(s.P99), round(s.Min), round(s.Max))
+}
+
+// round trims durations to a readable precision (3 significant units).
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond)
+	default:
+		return d
+	}
+}

@@ -1,0 +1,267 @@
+package netsim
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// lineTopo builds h1 -- s1 -- s2 -- h2 with h1 on s1:1, s1:2 -- s2:2,
+// h2 on s2:1.
+func lineTopo(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	if _, err := n.AddSwitch("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddSwitch("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Link("s1", 2, "s2", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost("h1", "s1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost("h2", "s2", 1); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testPacket(t *testing.T) Packet {
+	return Packet{
+		EthSrc: "aa:aa", EthDst: "bb:bb",
+		IPSrc: mustAddr(t, "10.0.0.1"), IPDst: mustAddr(t, "10.0.0.2"),
+		Proto: ProtoTCP, SrcPort: 12345, DstPort: 80,
+		Payload: []byte("GET /"),
+	}
+}
+
+func TestDeliveryAcrossSwitches(t *testing.T) {
+	n := lineTopo(t)
+	n.InstallFlow("s1", FlowEntry{Name: "fwd", Priority: 10,
+		Match: Match{IPDst: mustPrefix(t, "10.0.0.2/32")}, Actions: []Action{{Type: ActionOutput, Port: 2}}})
+	n.InstallFlow("s2", FlowEntry{Name: "fwd", Priority: 10,
+		Match: Match{IPDst: mustPrefix(t, "10.0.0.2/32")}, Actions: []Action{{Type: ActionOutput, Port: 1}}})
+
+	d, err := n.Inject("s1", 1, testPacket(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Delivered || d.Host != "h2" {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if len(d.Path) != 2 {
+		t.Fatalf("path = %v", d.Path)
+	}
+	if n.DeliveredTo("h2") != 1 {
+		t.Fatal("delivery counter")
+	}
+}
+
+func TestTableMissPuntsToController(t *testing.T) {
+	n := lineTopo(t)
+	var punted []string
+	n.SetPacketInHandler(func(dpid string, inPort int, pkt Packet) {
+		punted = append(punted, dpid)
+	})
+	d, err := n.Inject("s1", 1, testPacket(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Dropped || !d.PuntedToController {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if len(punted) != 1 || punted[0] != "s1" {
+		t.Fatalf("punted = %v", punted)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	n := lineTopo(t)
+	// Low-priority allow-all, high-priority drop for port 22.
+	n.InstallFlow("s1", FlowEntry{Name: "allow", Priority: 1,
+		Match: Match{}, Actions: []Action{{Type: ActionOutput, Port: 2}}})
+	n.InstallFlow("s2", FlowEntry{Name: "allow", Priority: 1,
+		Match: Match{}, Actions: []Action{{Type: ActionOutput, Port: 1}}})
+	n.InstallFlow("s1", FlowEntry{Name: "deny-ssh", Priority: 100,
+		Match: Match{Proto: ProtoTCP, DstPort: 22}, Actions: []Action{{Type: ActionDrop}}})
+
+	web := testPacket(t)
+	d, err := n.Inject("s1", 1, web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Delivered {
+		t.Fatal("web packet not delivered")
+	}
+	ssh := testPacket(t)
+	ssh.DstPort = 22
+	d, err = n.Inject("s1", 1, ssh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Dropped || d.Delivered {
+		t.Fatalf("ssh packet = %+v", d)
+	}
+}
+
+func TestFlowReplaceByName(t *testing.T) {
+	n := lineTopo(t)
+	n.InstallFlow("s1", FlowEntry{Name: "f", Priority: 5,
+		Match: Match{}, Actions: []Action{{Type: ActionDrop}}})
+	n.InstallFlow("s1", FlowEntry{Name: "f", Priority: 5,
+		Match: Match{}, Actions: []Action{{Type: ActionOutput, Port: 2}}})
+	s, err := n.Switch("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Flows()) != 1 {
+		t.Fatalf("flow count = %d", len(s.Flows()))
+	}
+	if s.Flows()[0].Actions[0].Type != ActionOutput {
+		t.Fatal("replacement not applied")
+	}
+}
+
+func TestRemoveFlow(t *testing.T) {
+	n := lineTopo(t)
+	n.InstallFlow("s1", FlowEntry{Name: "f", Priority: 5, Actions: []Action{{Type: ActionDrop}}})
+	if err := n.RemoveFlow("s1", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemoveFlow("s1", "f"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if err := n.RemoveFlow("nope", "f"); !errors.Is(err, ErrUnknownSwitch) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch("s1")
+	n.AddSwitch("s2")
+	if err := n.Link("s1", 1, "s2", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Each switch bounces everything back over the link.
+	n.InstallFlow("s1", FlowEntry{Name: "bounce", Priority: 1, Actions: []Action{{Type: ActionOutput, Port: 1}}})
+	n.InstallFlow("s2", FlowEntry{Name: "bounce", Priority: 1, Actions: []Action{{Type: ActionOutput, Port: 1}}})
+	_, err := n.Inject("s1", 1, testPacket(t))
+	if !errors.Is(err, ErrLoopDetected) {
+		t.Fatalf("got %v, want ErrLoopDetected", err)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	n := lineTopo(t)
+	n.InstallFlow("s1", FlowEntry{Name: "f", Priority: 1, Actions: []Action{{Type: ActionOutput, Port: 2}}})
+	n.InstallFlow("s2", FlowEntry{Name: "f", Priority: 1, Actions: []Action{{Type: ActionOutput, Port: 1}}})
+	pkt := testPacket(t)
+	for i := 0; i < 3; i++ {
+		if _, err := n.Inject("s1", 1, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, _ := n.Switch("s1")
+	f := s.Flows()[0]
+	if f.Packets != 3 || f.Bytes != uint64(3*len(pkt.Payload)) {
+		t.Fatalf("counters = %d pkts %d bytes", f.Packets, f.Bytes)
+	}
+}
+
+func TestLinksAndHostsEnumeration(t *testing.T) {
+	n := lineTopo(t)
+	links := n.Links()
+	if len(links) != 1 {
+		t.Fatalf("links = %v", links)
+	}
+	if links[0].SrcDPID != "s1" || links[0].DstDPID != "s2" {
+		t.Fatalf("link = %+v", links[0])
+	}
+	hosts := n.Hosts()
+	if len(hosts) != 2 || hosts[0] != "h1" || hosts[1] != "h2" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	n := NewNetwork()
+	n.AddSwitch("s1")
+	if _, err := n.AddSwitch("s1"); err == nil {
+		t.Fatal("duplicate switch accepted")
+	}
+	if err := n.Link("s1", 1, "nope", 1); !errors.Is(err, ErrUnknownSwitch) {
+		t.Fatalf("got %v", err)
+	}
+	if err := n.AttachHost("h", "s1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost("h2", "s1", 1); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := n.Inject("ghost", 1, Packet{}); !errors.Is(err, ErrUnknownSwitch) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMatchSemantics(t *testing.T) {
+	p := testPacket(t)
+	cases := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"wildcard", Match{}, true},
+		{"in-port hit", Match{InPort: 1}, true},
+		{"in-port miss", Match{InPort: 3}, false},
+		{"eth hit", Match{EthSrc: "aa:aa", EthDst: "bb:bb"}, true},
+		{"eth miss", Match{EthSrc: "cc:cc"}, false},
+		{"ip prefix hit", Match{IPDst: mustPrefix(t, "10.0.0.0/24")}, true},
+		{"ip prefix miss", Match{IPDst: mustPrefix(t, "192.168.0.0/16")}, false},
+		{"proto hit", Match{Proto: ProtoTCP}, true},
+		{"proto miss", Match{Proto: ProtoUDP}, false},
+		{"port hit", Match{DstPort: 80}, true},
+		{"port miss", Match{DstPort: 443}, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Matches(1, p); got != c.want {
+			t.Errorf("%s: got %v", c.name, got)
+		}
+	}
+}
+
+func TestWildcardMatchProperty(t *testing.T) {
+	// Property: the zero Match matches any packet on any port.
+	f := func(srcPort, dstPort uint16, proto uint8, payload []byte) bool {
+		p := Packet{
+			IPSrc: netip.AddrFrom4([4]byte{10, 0, 0, 1}), IPDst: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+			Proto: Proto(proto), SrcPort: srcPort, DstPort: dstPort, Payload: payload,
+		}
+		return (Match{}).Matches(int(srcPort%8), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors.
+var (
+	ErrUnknownSwitch = errors.New("netsim: unknown switch")
+	ErrUnknownPort   = errors.New("netsim: unknown port")
+	ErrPortInUse     = errors.New("netsim: port already connected")
+	ErrLoopDetected  = errors.New("netsim: forwarding loop (TTL exhausted)")
+)
+
+// maxHops bounds a packet's path to catch forwarding loops.
+const maxHops = 64
+
+// PacketInHandler receives table-miss/punted packets (the controller's
+// southbound packet-in).
+type PacketInHandler func(dpid string, inPort int, pkt Packet)
+
+// endpoint is one side of a link or an attached host.
+type endpoint struct {
+	dpid string // "" for host attachment
+	port int
+	host string // host name when dpid == ""
+}
+
+// Switch is one forwarding element.
+type Switch struct {
+	dpid  string
+	mu    sync.Mutex
+	flows []FlowEntry // kept sorted by priority desc, insertion order tiebreak
+	peers map[int]endpoint
+}
+
+// DPID returns the switch's datapath ID.
+func (s *Switch) DPID() string { return s.dpid }
+
+// Flows returns a copy of the flow table (sorted by priority).
+func (s *Switch) Flows() []FlowEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FlowEntry, len(s.flows))
+	copy(out, s.flows)
+	return out
+}
+
+// installFlow adds or replaces (by name) a flow entry.
+func (s *Switch) installFlow(e FlowEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.flows {
+		if s.flows[i].Name == e.Name {
+			s.flows[i] = e
+			s.sortLocked()
+			return
+		}
+	}
+	s.flows = append(s.flows, e)
+	s.sortLocked()
+}
+
+func (s *Switch) removeFlow(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.flows {
+		if s.flows[i].Name == name {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Switch) sortLocked() {
+	sort.SliceStable(s.flows, func(i, j int) bool {
+		return s.flows[i].Priority > s.flows[j].Priority
+	})
+}
+
+// lookup returns the highest-priority matching entry, bumping counters.
+func (s *Switch) lookup(inPort int, pkt Packet) (FlowEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.flows {
+		if s.flows[i].Match.Matches(inPort, pkt) {
+			s.flows[i].Packets++
+			s.flows[i].Bytes += uint64(len(pkt.Payload))
+			return s.flows[i], true
+		}
+	}
+	return FlowEntry{}, false
+}
+
+// Hop is one step of a packet trace.
+type Hop struct {
+	DPID   string
+	InPort int
+	Action string
+}
+
+// Delivery is the outcome of injecting a packet.
+type Delivery struct {
+	// Delivered is true when the packet reached a host port.
+	Delivered bool
+	// Host is the receiving host (when delivered).
+	Host string
+	// Dropped is true for explicit drops and table misses.
+	Dropped bool
+	// PuntedToController is true if a controller action fired.
+	PuntedToController bool
+	// Path is the hop-by-hop trace.
+	Path []Hop
+}
+
+// Network is a topology of switches, links and attached hosts.
+type Network struct {
+	mu       sync.Mutex
+	switches map[string]*Switch
+	// delivered counts packets per receiving host.
+	delivered map[string]uint64
+	packetIn  PacketInHandler
+}
+
+// NewNetwork creates an empty topology.
+func NewNetwork() *Network {
+	return &Network{
+		switches:  make(map[string]*Switch),
+		delivered: make(map[string]uint64),
+	}
+}
+
+// SetPacketInHandler installs the controller's packet-in callback.
+func (n *Network) SetPacketInHandler(h PacketInHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.packetIn = h
+}
+
+// AddSwitch creates a switch.
+func (n *Network) AddSwitch(dpid string) (*Switch, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.switches[dpid]; dup {
+		return nil, fmt.Errorf("netsim: duplicate switch %q", dpid)
+	}
+	s := &Switch{dpid: dpid, peers: make(map[int]endpoint)}
+	n.switches[dpid] = s
+	return s, nil
+}
+
+// Switch looks a switch up.
+func (n *Network) Switch(dpid string) (*Switch, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.switches[dpid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSwitch, dpid)
+	}
+	return s, nil
+}
+
+// Switches lists DPIDs in sorted order.
+func (n *Network) Switches() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.switches))
+	for d := range n.switches {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Link connects two switch ports bidirectionally.
+func (n *Network) Link(dpidA string, portA int, dpidB string, portB int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.switches[dpidA]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, dpidA)
+	}
+	b, ok := n.switches[dpidB]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, dpidB)
+	}
+	if _, used := a.peers[portA]; used {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, dpidA, portA)
+	}
+	if _, used := b.peers[portB]; used {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, dpidB, portB)
+	}
+	a.peers[portA] = endpoint{dpid: dpidB, port: portB}
+	b.peers[portB] = endpoint{dpid: dpidA, port: portA}
+	return nil
+}
+
+// AttachHost binds a named host to a switch port.
+func (n *Network) AttachHost(host, dpid string, port int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.switches[dpid]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, dpid)
+	}
+	if _, used := s.peers[port]; used {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, dpid, port)
+	}
+	s.peers[port] = endpoint{host: host, port: port}
+	return nil
+}
+
+// LinkInfo describes one link for the topology API.
+type LinkInfo struct {
+	SrcDPID string `json:"src-switch"`
+	SrcPort int    `json:"src-port"`
+	DstDPID string `json:"dst-switch"`
+	DstPort int    `json:"dst-port"`
+}
+
+// Links lists switch-to-switch links (each reported once).
+func (n *Network) Links() []LinkInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []LinkInfo
+	for dpid, s := range n.switches {
+		for port, peer := range s.peers {
+			if peer.dpid == "" {
+				continue
+			}
+			if peer.dpid < dpid || (peer.dpid == dpid && peer.port < port) {
+				continue // report each link from its lexicographically smaller end
+			}
+			out = append(out, LinkInfo{SrcDPID: dpid, SrcPort: port, DstDPID: peer.dpid, DstPort: peer.port})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SrcDPID != out[j].SrcDPID {
+			return out[i].SrcDPID < out[j].SrcDPID
+		}
+		return out[i].SrcPort < out[j].SrcPort
+	})
+	return out
+}
+
+// Hosts lists attached host names.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for _, s := range n.switches {
+		for _, peer := range s.peers {
+			if peer.host != "" {
+				out = append(out, peer.host)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeliveredTo reports packets delivered to a host.
+func (n *Network) DeliveredTo(host string) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered[host]
+}
+
+// InstallFlow programs a flow on a switch (the southbound flow-mod).
+func (n *Network) InstallFlow(dpid string, e FlowEntry) error {
+	s, err := n.Switch(dpid)
+	if err != nil {
+		return err
+	}
+	s.installFlow(e)
+	return nil
+}
+
+// RemoveFlow deletes a named flow from a switch.
+func (n *Network) RemoveFlow(dpid, name string) error {
+	s, err := n.Switch(dpid)
+	if err != nil {
+		return err
+	}
+	if !s.removeFlow(name) {
+		return fmt.Errorf("netsim: no flow %q on %s", name, dpid)
+	}
+	return nil
+}
+
+// Inject sends a packet into the network at a switch port and follows it
+// until delivery, drop, or loop exhaustion.
+func (n *Network) Inject(dpid string, inPort int, pkt Packet) (*Delivery, error) {
+	d := &Delivery{}
+	curDPID, curPort := dpid, inPort
+	for hop := 0; hop < maxHops; hop++ {
+		n.mu.Lock()
+		s, ok := n.switches[curDPID]
+		handler := n.packetIn
+		n.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSwitch, curDPID)
+		}
+		entry, found := s.lookup(curPort, pkt)
+		if !found {
+			// Table miss: punt to controller if present, else drop.
+			d.Path = append(d.Path, Hop{DPID: curDPID, InPort: curPort, Action: "table-miss"})
+			if handler != nil {
+				d.PuntedToController = true
+				handler(curDPID, curPort, pkt)
+			}
+			d.Dropped = true
+			return d, nil
+		}
+		advanced := false
+		for _, act := range entry.Actions {
+			switch act.Type {
+			case ActionDrop:
+				d.Path = append(d.Path, Hop{DPID: curDPID, InPort: curPort, Action: "drop"})
+				d.Dropped = true
+				return d, nil
+			case ActionController:
+				d.Path = append(d.Path, Hop{DPID: curDPID, InPort: curPort, Action: "controller"})
+				d.PuntedToController = true
+				if handler != nil {
+					handler(curDPID, curPort, pkt)
+				}
+			case ActionOutput:
+				d.Path = append(d.Path, Hop{DPID: curDPID, InPort: curPort, Action: fmt.Sprintf("output:%d", act.Port)})
+				s.mu.Lock()
+				peer, ok := s.peers[act.Port]
+				s.mu.Unlock()
+				if !ok {
+					d.Dropped = true
+					return d, fmt.Errorf("%w: %s:%d", ErrUnknownPort, curDPID, act.Port)
+				}
+				if peer.host != "" {
+					d.Delivered = true
+					d.Host = peer.host
+					n.mu.Lock()
+					n.delivered[peer.host]++
+					n.mu.Unlock()
+					return d, nil
+				}
+				curDPID, curPort = peer.dpid, peer.port
+				advanced = true
+			}
+			if advanced {
+				break
+			}
+		}
+		if !advanced {
+			// Actions did not forward (e.g. controller-only): stop.
+			d.Dropped = !d.PuntedToController
+			return d, nil
+		}
+	}
+	return d, ErrLoopDetected
+}

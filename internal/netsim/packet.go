@@ -1,0 +1,140 @@
+// Package netsim implements the forwarding plane of the SDN deployment: an
+// OpenFlow-style network of switches with priority flow tables, links and
+// attached hosts. The controller programs it through a southbound
+// interface; VNFs enrolled through the paper's workflow push flows via the
+// controller's north-bound REST API, and packet traces make the effect
+// observable in examples and experiments.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Proto is the transport protocol of a packet.
+type Proto uint8
+
+// Protocols.
+const (
+	ProtoAny Proto = 0
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+// String names the protocol.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	case ProtoAny:
+		return "any"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Packet is a simplified L2–L4 frame.
+type Packet struct {
+	EthSrc  string
+	EthDst  string
+	IPSrc   netip.Addr
+	IPDst   netip.Addr
+	Proto   Proto
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// String renders a compact packet description for traces.
+func (p Packet) String() string {
+	return fmt.Sprintf("%s:%d -> %s:%d/%s (%dB)", p.IPSrc, p.SrcPort, p.IPDst, p.DstPort, p.Proto, len(p.Payload))
+}
+
+// Match selects packets; zero-valued fields are wildcards.
+type Match struct {
+	InPort  int // 0 = any
+	EthSrc  string
+	EthDst  string
+	IPSrc   netip.Prefix // zero = any
+	IPDst   netip.Prefix
+	Proto   Proto
+	SrcPort uint16 // 0 = any
+	DstPort uint16
+}
+
+// Matches reports whether the packet (arriving on inPort) satisfies the
+// match.
+func (m Match) Matches(inPort int, p Packet) bool {
+	if m.InPort != 0 && m.InPort != inPort {
+		return false
+	}
+	if m.EthSrc != "" && m.EthSrc != p.EthSrc {
+		return false
+	}
+	if m.EthDst != "" && m.EthDst != p.EthDst {
+		return false
+	}
+	if m.IPSrc.IsValid() && !m.IPSrc.Contains(p.IPSrc) {
+		return false
+	}
+	if m.IPDst.IsValid() && !m.IPDst.Contains(p.IPDst) {
+		return false
+	}
+	if m.Proto != ProtoAny && m.Proto != p.Proto {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != p.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != p.DstPort {
+		return false
+	}
+	return true
+}
+
+// ActionType enumerates flow actions.
+type ActionType uint8
+
+// Action types.
+const (
+	// ActionOutput forwards out a port.
+	ActionOutput ActionType = iota
+	// ActionDrop discards the packet.
+	ActionDrop
+	// ActionController punts the packet to the controller.
+	ActionController
+)
+
+// Action is one flow action.
+type Action struct {
+	Type ActionType
+	Port int // for ActionOutput
+}
+
+// String renders the action.
+func (a Action) String() string {
+	switch a.Type {
+	case ActionOutput:
+		return fmt.Sprintf("output:%d", a.Port)
+	case ActionDrop:
+		return "drop"
+	case ActionController:
+		return "controller"
+	default:
+		return "unknown"
+	}
+}
+
+// FlowEntry is one row of a switch's flow table.
+type FlowEntry struct {
+	Name     string // staticflowpusher entry name (unique per switch)
+	Priority int
+	Match    Match
+	Actions  []Action
+
+	// Counters.
+	Packets uint64
+	Bytes   uint64
+}

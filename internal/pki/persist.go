@@ -1,0 +1,52 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// KeyPEM exports the CA private key (PKCS#8). Handle with the same care
+// as any CA key; multi-process deployments pass it between the init and
+// run phases of the Verification Manager.
+func (ca *CA) KeyPEM() ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: exporting CA key: %w", err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// LoadCA reconstructs a CA from its certificate and key PEM. Serial
+// numbers restart from a time-derived base so certificates issued across
+// restarts do not collide.
+func LoadCA(certPEM, keyPEM []byte) (*CA, error) {
+	cert, err := ParseCertPEM(certPEM)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(keyPEM)
+	if block == nil || block.Type != "PRIVATE KEY" {
+		return nil, errors.New("pki: no private key PEM block")
+	}
+	keyAny, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing CA key: %w", err)
+	}
+	key, ok := keyAny.(*ecdsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("pki: CA key type %T unsupported", keyAny)
+	}
+	if !key.PublicKey.Equal(cert.PublicKey) {
+		return nil, errors.New("pki: CA key does not match certificate")
+	}
+	return &CA{
+		key:        key,
+		cert:       cert,
+		nextSerial: time.Now().UnixNano(),
+		revoked:    make(map[string]time.Time),
+	}, nil
+}

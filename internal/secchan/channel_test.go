@@ -1,0 +1,264 @@
+package secchan
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+// pair builds two channel ends over an in-memory duplex pipe.
+func pair(t *testing.T) (*Channel, *Channel) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	sk := [16]byte{1, 2, 3, 4, 5}
+	ci, err := New(sk, a, RoleInitiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := New(sk, b, RoleResponder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ci, cr
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	ci, cr := pair(t)
+	done := make(chan error, 1)
+	go func() { done <- ci.Send(TypeProvision, []byte("credential blob")) }()
+	typ, payload, err := cr.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeProvision || string(payload) != "credential blob" {
+		t.Fatalf("got type=%d payload=%q", typ, payload)
+	}
+}
+
+func TestBidirectionalSequences(t *testing.T) {
+	ci, cr := pair(t)
+	go func() {
+		for i := 0; i < 5; i++ {
+			ci.Send(TypeProvision, []byte{byte(i)})
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		_, p, err := cr.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != byte(i) {
+			t.Fatalf("out of order: got %d want %d", p[0], i)
+		}
+	}
+	// Reverse direction on the same channel.
+	go func() {
+		for i := 0; i < 5; i++ {
+			cr.Send(TypeAck, []byte{byte(100 + i)})
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		typ, p, err := ci.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != TypeAck || p[0] != byte(100+i) {
+			t.Fatalf("reverse direction mismatch at %d", i)
+		}
+	}
+}
+
+func TestWrongKeyFailsAuth(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ci, err := New([16]byte{1}, a, RoleInitiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := New([16]byte{2}, b, RoleResponder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ci.Send(TypeProvision, []byte("x"))
+	if _, _, err := cr.Recv(); !errors.Is(err, ErrAuth) {
+		t.Fatalf("got %v, want ErrAuth", err)
+	}
+}
+
+func TestSameRoleBothEndsFailsAuth(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sk := [16]byte{9}
+	c1, _ := New(sk, a, RoleInitiator)
+	c2, _ := New(sk, b, RoleInitiator) // misconfigured: same role
+	go c1.Send(TypeProvision, []byte("x"))
+	if _, _, err := c2.Recv(); !errors.Is(err, ErrAuth) {
+		t.Fatalf("got %v, want ErrAuth (direction confusion)", err)
+	}
+}
+
+func TestTamperedRecordFailsAuth(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sk := [16]byte{7}
+	ci, _ := New(sk, &tamperConn{ReadWriter: a}, RoleInitiator)
+	cr, _ := New(sk, b, RoleResponder)
+	go ci.Send(TypeProvision, []byte("sensitive"))
+	if _, _, err := cr.Recv(); !errors.Is(err, ErrAuth) {
+		t.Fatalf("got %v, want ErrAuth", err)
+	}
+}
+
+// tamperConn flips a bit in every record body it writes (not the header).
+type tamperConn struct {
+	ReadWriter interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+	}
+	wrote int
+}
+
+func (c *tamperConn) Read(p []byte) (int, error) { return c.ReadWriter.Read(p) }
+func (c *tamperConn) Write(p []byte) (int, error) {
+	c.wrote++
+	if c.wrote == 2 && len(p) > 0 { // second write is the ciphertext
+		q := append([]byte(nil), p...)
+		q[0] ^= 0x80
+		return c.ReadWriter.Write(q)
+	}
+	return c.ReadWriter.Write(p)
+}
+
+func TestTypeBoundToRecord(t *testing.T) {
+	// Flipping the type byte in the header must break authentication
+	// (type is AAD): a TypeRevoke cannot be forged from a TypeAck.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sk := [16]byte{5}
+	ci, _ := New(sk, &typeFlipConn{rw: a}, RoleInitiator)
+	cr, _ := New(sk, b, RoleResponder)
+	go ci.Send(TypeAck, []byte("ok"))
+	if _, _, err := cr.Recv(); !errors.Is(err, ErrAuth) {
+		t.Fatalf("got %v, want ErrAuth for type forgery", err)
+	}
+}
+
+type typeFlipConn struct {
+	rw interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+	}
+}
+
+func (c *typeFlipConn) Read(p []byte) (int, error) { return c.rw.Read(p) }
+func (c *typeFlipConn) Write(p []byte) (int, error) {
+	if len(p) == 5 { // header write: rewrite type to TypeRevoke
+		q := append([]byte(nil), p...)
+		q[4] = TypeRevoke
+		return c.rw.Write(q)
+	}
+	return c.rw.Write(p)
+}
+
+func TestReplayRejected(t *testing.T) {
+	// A replaying adversary records the first ciphertext and delivers it
+	// twice; the second delivery must fail (nonce sequence advanced).
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sk := [16]byte{3}
+	rec := &recordingConn{rw: a}
+	ci, _ := New(sk, rec, RoleInitiator)
+	cr, _ := New(sk, b, RoleResponder)
+	go ci.Send(TypeProvision, []byte("first"))
+	if _, _, err := cr.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the captured frames.
+	go func() {
+		for _, frame := range rec.frames {
+			b2 := append([]byte(nil), frame...)
+			a.Write(b2)
+		}
+	}()
+	if _, _, err := cr.Recv(); !errors.Is(err, ErrAuth) {
+		t.Fatalf("replayed record accepted: %v", err)
+	}
+}
+
+type recordingConn struct {
+	rw interface {
+		Read([]byte) (int, error)
+		Write([]byte) (int, error)
+	}
+	frames [][]byte
+}
+
+func (c *recordingConn) Read(p []byte) (int, error) { return c.rw.Read(p) }
+func (c *recordingConn) Write(p []byte) (int, error) {
+	c.frames = append(c.frames, append([]byte(nil), p...))
+	return c.rw.Write(p)
+}
+
+func TestOversizeRejected(t *testing.T) {
+	ci, _ := pair(t)
+	big := make([]byte, MaxRecordSize+1)
+	if err := ci.Send(TypeProvision, big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("got %v, want ErrRecordTooLarge", err)
+	}
+}
+
+func TestClosedChannel(t *testing.T) {
+	ci, _ := pair(t)
+	ci.Close()
+	if err := ci.Send(TypeAck, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestInvalidRole(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	if _, err := New([16]byte{}, a, Role(9)); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, typ uint8) bool {
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		sk := [16]byte{42}
+		ci, err := New(sk, a, RoleInitiator)
+		if err != nil {
+			return false
+		}
+		cr, err := New(sk, b, RoleResponder)
+		if err != nil {
+			return false
+		}
+		go ci.Send(typ, payload)
+		gotType, gotPayload, err := cr.Recv()
+		if err != nil {
+			return false
+		}
+		return gotType == typ && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

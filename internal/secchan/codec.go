@@ -1,0 +1,80 @@
+package secchan
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// RecordCodec seals and opens records without owning a transport. The
+// credential enclave uses a codec so that record decryption happens inside
+// the enclave boundary while the untrusted host runtime only moves opaque
+// frames; Channel composes a codec with a stream.
+type RecordCodec struct {
+	aead cipher.AEAD
+	role Role
+
+	mu      sync.Mutex
+	sendSeq uint64
+	recvSeq uint64
+}
+
+// NewCodec builds a detached codec.
+func NewCodec(sk [16]byte, role Role) (*RecordCodec, error) {
+	if role != RoleInitiator && role != RoleResponder {
+		return nil, fmt.Errorf("secchan: invalid role %d", role)
+	}
+	block, err := aes.NewCipher(sk[:])
+	if err != nil {
+		return nil, fmt.Errorf("secchan: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: AEAD: %w", err)
+	}
+	return &RecordCodec{aead: aead, role: role}, nil
+}
+
+// Seal produces a complete frame (header ‖ ciphertext) for one record.
+func (c *RecordCodec) Seal(msgType uint8, payload []byte) ([]byte, error) {
+	if len(payload) > MaxRecordSize {
+		return nil, ErrRecordTooLarge
+	}
+	c.mu.Lock()
+	seq := c.sendSeq
+	c.sendSeq++
+	c.mu.Unlock()
+	n := nonce(c.role, seq)
+	ct := c.aead.Seal(nil, n, payload, []byte{msgType})
+	frame := make([]byte, 5, 5+len(ct))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(ct)))
+	frame[4] = msgType
+	return append(frame, ct...), nil
+}
+
+// Open authenticates and decrypts a complete frame.
+func (c *RecordCodec) Open(frame []byte) (msgType uint8, payload []byte, err error) {
+	if len(frame) < 5 {
+		return 0, nil, ErrAuth
+	}
+	length := binary.BigEndian.Uint32(frame[:4])
+	msgType = frame[4]
+	ct := frame[5:]
+	if uint32(len(ct)) != length {
+		return 0, nil, ErrAuth
+	}
+	c.mu.Lock()
+	seq := c.recvSeq
+	c.mu.Unlock()
+	n := nonce(c.role.peer(), seq)
+	payload, err = c.aead.Open(nil, n, ct, []byte{msgType})
+	if err != nil {
+		return 0, nil, ErrAuth
+	}
+	c.mu.Lock()
+	c.recvSeq++
+	c.mu.Unlock()
+	return msgType, payload, nil
+}

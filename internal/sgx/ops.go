@@ -1,0 +1,14 @@
+package sgx
+
+import "vnfguard/internal/simtime"
+
+// Short aliases for the modeled operations charged by this package.
+const (
+	opECall   = simtime.OpECall
+	opOCall   = simtime.OpOCall
+	opEReport = simtime.OpEReport
+	opQuote   = simtime.OpQuote
+	opSeal    = simtime.OpSeal
+	opUnseal  = simtime.OpUnseal
+	opPageIn  = simtime.OpPageIn
+)

@@ -1,0 +1,97 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// SealPolicy selects which identity the sealing key binds to.
+type SealPolicy uint8
+
+const (
+	// SealToMRENCLAVE binds sealed data to the exact enclave measurement:
+	// only byte-identical enclave code can unseal.
+	SealToMRENCLAVE SealPolicy = 1
+	// SealToMRSIGNER binds to the signing vendor, product ID and SVN:
+	// upgraded enclaves (higher SVN) from the same vendor can unseal
+	// blobs sealed at lower SVN, but not vice versa.
+	SealToMRSIGNER SealPolicy = 2
+)
+
+// sealed blob layout: policy(1) ‖ svn(2) ‖ nonce(12) ‖ ciphertext.
+const sealHeaderLen = 1 + 2
+
+// Seal encrypts plaintext under a key derived from the calling enclave's
+// identity per policy, with aad authenticated alongside. Charges OpSeal.
+func (c *Context) Seal(policy SealPolicy, plaintext, aad []byte) ([]byte, error) {
+	if policy != SealToMRENCLAVE && policy != SealToMRSIGNER {
+		return nil, ErrSealBadPolicy
+	}
+	c.e.platform.charge(opSeal)
+	id := c.e.identity
+	key := c.e.platform.sealKey(policy, id.MRENCLAVE, id.MRSIGNER, id.ISVProdID, id.ISVSVN)
+	aead, err := newSealAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	header := make([]byte, sealHeaderLen)
+	header[0] = byte(policy)
+	binary.LittleEndian.PutUint16(header[1:3], id.ISVSVN)
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("sgx: seal nonce: %w", err)
+	}
+	fullAAD := append(append([]byte(nil), header...), aad...)
+	ct := aead.Seal(nil, nonce, plaintext, fullAAD)
+	out := make([]byte, 0, len(header)+len(nonce)+len(ct))
+	out = append(out, header...)
+	out = append(out, nonce...)
+	out = append(out, ct...)
+	return out, nil
+}
+
+// Unseal decrypts a blob sealed by (a compatible version of) this enclave.
+// Charges OpUnseal. Blobs sealed at a higher SVN than the caller's are
+// rejected (anti-rollback).
+func (c *Context) Unseal(blob, aad []byte) ([]byte, error) {
+	c.e.platform.charge(opUnseal)
+	if len(blob) < sealHeaderLen+12 {
+		return nil, ErrSealWrongKey
+	}
+	policy := SealPolicy(blob[0])
+	if policy != SealToMRENCLAVE && policy != SealToMRSIGNER {
+		return nil, ErrSealBadPolicy
+	}
+	blobSVN := binary.LittleEndian.Uint16(blob[1:3])
+	id := c.e.identity
+	if policy == SealToMRSIGNER && blobSVN > id.ISVSVN {
+		return nil, ErrSealSVNRollback
+	}
+	if policy == SealToMRENCLAVE && blobSVN != id.ISVSVN {
+		return nil, ErrSealWrongKey
+	}
+	key := c.e.platform.sealKey(policy, id.MRENCLAVE, id.MRSIGNER, id.ISVProdID, blobSVN)
+	aead, err := newSealAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := blob[sealHeaderLen : sealHeaderLen+aead.NonceSize()]
+	ct := blob[sealHeaderLen+aead.NonceSize():]
+	fullAAD := append(append([]byte(nil), blob[:sealHeaderLen]...), aad...)
+	pt, err := aead.Open(nil, nonce, ct, fullAAD)
+	if err != nil {
+		return nil, ErrSealWrongKey
+	}
+	return pt, nil
+}
+
+func newSealAEAD(key [32]byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("sgx: seal cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}

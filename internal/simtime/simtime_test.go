@@ -1,0 +1,151 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestZeroCostsChargesNothingButCounts(t *testing.T) {
+	m := ZeroCosts()
+	start := time.Now()
+	m.ChargeN(OpECall, 1000)
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("zero-cost charge took %v, expected ~0", elapsed)
+	}
+	if got := m.Count(OpECall); got != 1000 {
+		t.Fatalf("Count(OpECall) = %d, want 1000", got)
+	}
+	if got := m.Total(OpECall); got != 0 {
+		t.Fatalf("Total(OpECall) = %v, want 0", got)
+	}
+}
+
+func TestDefaultCostsRealisesWait(t *testing.T) {
+	m := DefaultCosts()
+	start := time.Now()
+	m.Charge(OpSeal) // 20 µs
+	elapsed := time.Since(start)
+	if elapsed < 15*time.Microsecond {
+		t.Fatalf("Charge(OpSeal) returned after %v, want ≥ ~20µs", elapsed)
+	}
+	if got := m.Count(OpSeal); got != 1 {
+		t.Fatalf("Count(OpSeal) = %d, want 1", got)
+	}
+	if got := m.Total(OpSeal); got != 20*time.Microsecond {
+		t.Fatalf("Total(OpSeal) = %v, want 20µs", got)
+	}
+}
+
+func TestChargeNAggregates(t *testing.T) {
+	m := ZeroCosts().Set(OpOCall, time.Microsecond)
+	m.ChargeN(OpOCall, 5)
+	if got := m.Total(OpOCall); got != 5*time.Microsecond {
+		t.Fatalf("Total = %v, want 5µs", got)
+	}
+}
+
+func TestChargeNegativeOrZeroIsNoop(t *testing.T) {
+	m := DefaultCosts()
+	m.ChargeN(OpQuote, 0)
+	m.ChargeN(OpQuote, -3)
+	if got := m.Count(OpQuote); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+}
+
+func TestNilModelIsSafe(t *testing.T) {
+	var m *CostModel
+	m.Charge(OpECall) // must not panic
+	if m.Count(OpECall) != 0 || m.Total(OpECall) != 0 {
+		t.Fatal("nil model should report zeros")
+	}
+}
+
+func TestScaledCosts(t *testing.T) {
+	m := ScaledCosts(0.5)
+	if got, want := m.Cost(OpQuote), 35*time.Millisecond/2; got != want {
+		t.Fatalf("scaled quote cost = %v, want %v", got, want)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	m := ZeroCosts()
+	m.Charge(OpECall)
+	m.ResetCounters()
+	if m.Count(OpECall) != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestSnapshotOnlyNonZero(t *testing.T) {
+	m := ZeroCosts().Set(OpECall, time.Microsecond)
+	m.ChargeN(OpECall, 3)
+	snap := m.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d entries, want 1", len(snap))
+	}
+	st, ok := snap["ecall"]
+	if !ok {
+		t.Fatal("snapshot missing ecall")
+	}
+	if st.Count != 3 || st.Total != 3*time.Microsecond {
+		t.Fatalf("snapshot = %+v", st)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpECall:        "ecall",
+		OpIASRoundTrip: "ias_round_trip",
+		OpIMAMeasure:   "ima_measure",
+		Op(99):         "op(99)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestSleeperSpinPrecision(t *testing.T) {
+	s := NewSleeper()
+	const target = 50 * time.Microsecond
+	start := time.Now()
+	s.Wait(target)
+	elapsed := time.Since(start)
+	if elapsed < target {
+		t.Fatalf("Wait returned early: %v < %v", elapsed, target)
+	}
+	if elapsed > 40*target {
+		t.Fatalf("Wait overshot grossly: %v", elapsed)
+	}
+}
+
+func TestSleeperZeroAndNegative(t *testing.T) {
+	s := NewSleeper()
+	start := time.Now()
+	s.Wait(0)
+	s.Wait(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Fatal("Wait(≤0) should return immediately")
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	m := ZeroCosts().Set(OpECall, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Charge(OpECall)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Count(OpECall); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}

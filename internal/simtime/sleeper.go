@@ -1,0 +1,48 @@
+package simtime
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinThreshold is the boundary below which Wait busy-spins instead of
+// sleeping. time.Sleep on Linux has ~50–100 µs wake-up jitter, which would
+// swamp the 4 µs transition costs the model needs to realise.
+const spinThreshold = 100 * time.Microsecond
+
+// Sleeper realises modeled durations in wall-clock time. It is safe for
+// concurrent use; it holds no state beyond configuration.
+type Sleeper struct {
+	threshold time.Duration
+}
+
+// NewSleeper returns a Sleeper with the default spin threshold.
+func NewSleeper() *Sleeper { return &Sleeper{threshold: spinThreshold} }
+
+// Wait blocks for approximately d: busy-spinning below the threshold for
+// µs precision, sleeping above it.
+func (s *Sleeper) Wait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d < s.threshold {
+		spin(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// spin busy-waits for d using the monotonic clock. Gosched is invoked
+// periodically so that a spinning goroutine cannot starve the scheduler
+// when GOMAXPROCS is small.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for i := 0; ; i++ {
+		if !time.Now().Before(deadline) {
+			return
+		}
+		if i%1024 == 1023 {
+			runtime.Gosched()
+		}
+	}
+}

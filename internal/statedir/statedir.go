@@ -1,0 +1,162 @@
+// Package statedir implements the file-based rendezvous the multi-process
+// binaries (cmd/ias-server, cmd/controller, cmd/container-host,
+// cmd/verification-manager) use to exchange public material and service
+// URLs: each process writes what it owns and polls for what it needs.
+package statedir
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Dir is a state directory handle.
+type Dir struct{ path string }
+
+// Open creates (if needed) and returns a state directory.
+func Open(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("statedir: %w", err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the absolute location of a named entry.
+func (d *Dir) Path(name string) string { return filepath.Join(d.path, name) }
+
+// Write atomically writes an entry.
+func (d *Dir) Write(name string, data []byte) error {
+	tmp := d.Path(name + ".tmp")
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("statedir: writing %s: %w", name, err)
+	}
+	return os.Rename(tmp, d.Path(name))
+}
+
+// Read returns an entry's contents.
+func (d *Dir) Read(name string) ([]byte, error) {
+	return os.ReadFile(d.Path(name))
+}
+
+// ReadString returns a trimmed entry.
+func (d *Dir) ReadString(name string) (string, error) {
+	b, err := d.Read(name)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// WaitFor polls until an entry exists (other process publishing it) or
+// the timeout elapses.
+func (d *Dir) WaitFor(name string, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		b, err := d.Read(name)
+		if err == nil {
+			return b, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("statedir: timed out waiting for %s", name)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Exists reports whether an entry is present.
+func (d *Dir) Exists(name string) bool {
+	_, err := os.Stat(d.Path(name))
+	return err == nil
+}
+
+// ---- key material helpers -------------------------------------------------
+
+// GenerateKeyPEM creates a fresh P-256 key and returns it as PKCS#8 PEM.
+func GenerateKeyPEM() ([]byte, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	return MarshalKeyPEM(key)
+}
+
+// MarshalKeyPEM encodes a private key as PKCS#8 PEM.
+func MarshalKeyPEM(key *ecdsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// ParseKeyPEM decodes a PKCS#8 PEM private key.
+func ParseKeyPEM(data []byte) (*ecdsa.PrivateKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != "PRIVATE KEY" {
+		return nil, errors.New("statedir: no private key block")
+	}
+	keyAny, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	key, ok := keyAny.(*ecdsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("statedir: key type %T unsupported", keyAny)
+	}
+	return key, nil
+}
+
+// MarshalPubPEM encodes a public key as PKIX PEM.
+func MarshalPubPEM(pub *ecdsa.PublicKey) ([]byte, error) {
+	der, err := x509.MarshalPKIXPublicKey(pub)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der}), nil
+}
+
+// ParsePubPEM decodes a PKIX PEM public key.
+func ParsePubPEM(data []byte) (*ecdsa.PublicKey, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != "PUBLIC KEY" {
+		return nil, errors.New("statedir: no public key block")
+	}
+	pubAny, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := pubAny.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("statedir: public key type %T unsupported", pubAny)
+	}
+	return pub, nil
+}
+
+// Well-known entry names shared by the binaries.
+const (
+	FileIssuer         = "epid-issuer.json"
+	FileIASURL         = "ias-url"
+	FileIASCert        = "ias-signing-cert.pem"
+	FileVMKey          = "vm-key.pem"
+	FileVMPub          = "vm-pub.pem"
+	FileVendorKey      = "vendor-key.pem"
+	FileCACert         = "ca-cert.pem"
+	FileCAKey          = "ca-key.pem"
+	FileControllerCert = "controller-cert.pem"
+	FileControllerKey  = "controller-key.pem"
+	FileControllerURL  = "controller-url"
+)
+
+// HostInfoFile returns the entry name a host agent publishes.
+func HostInfoFile(name string) string { return "host-" + name + ".json" }

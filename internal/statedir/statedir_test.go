@@ -1,0 +1,93 @@
+package statedir
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	s, err := d.ReadString("x")
+	if err != nil || s != "hello" {
+		t.Fatalf("ReadString = %q, %v", s, err)
+	}
+	if !d.Exists("x") || d.Exists("y") {
+		t.Fatal("Exists mismatch")
+	}
+}
+
+func TestWaitForTimesOut(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := d.WaitFor("never", 200*time.Millisecond); err == nil {
+		t.Fatal("WaitFor succeeded on missing entry")
+	}
+	if time.Since(start) < 200*time.Millisecond {
+		t.Fatal("WaitFor returned before timeout")
+	}
+}
+
+func TestWaitForSeesLateWrite(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		d.Write("late", []byte("arrived"))
+	}()
+	got, err := d.WaitFor("late", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "arrived" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestKeyPEMRoundTrip(t *testing.T) {
+	pemBytes, err := GenerateKeyPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ParseKeyPEM(pemBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubPEM, err := MarshalPubPEM(&key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParsePubPEM(pubPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pub.Equal(&key.PublicKey) {
+		t.Fatal("public key round trip mismatch")
+	}
+}
+
+func TestParseKeyPEMErrors(t *testing.T) {
+	if _, err := ParseKeyPEM([]byte("garbage")); err == nil {
+		t.Fatal("garbage key accepted")
+	}
+	if _, err := ParsePubPEM([]byte("garbage")); err == nil {
+		t.Fatal("garbage pub accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package tpm models the subset of a TPM 2.0 needed for the paper's
+// future-work extension (§4): a hardware root of trust for the IMA
+// measurement list. It provides PCR banks with extend semantics, an
+// attestation identity key (AIK), signed quotes over PCR selections, and
+// event-log replay.
+//
+// The threat it addresses is exactly the one §4 states: an adversary with
+// root on the container host can rewrite the software-held IML, but cannot
+// rewind a PCR; a TPM quote over PCR 10 therefore authenticates the list.
+package tpm
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"vnfguard/internal/simtime"
+)
+
+// NumPCRs is the number of platform configuration registers.
+const NumPCRs = 24
+
+// Errors.
+var (
+	ErrPCRIndex      = errors.New("tpm: PCR index out of range")
+	ErrBadQuote      = errors.New("tpm: quote signature invalid")
+	ErrNonceMismatch = errors.New("tpm: quote nonce mismatch")
+)
+
+// Event is one entry of the TPM event log (what was extended where).
+type Event struct {
+	PCR    int
+	Digest [32]byte
+}
+
+// TPM is one device instance.
+type TPM struct {
+	mu       sync.Mutex
+	pcrs     [NumPCRs][32]byte
+	aik      *ecdsa.PrivateKey
+	eventLog []Event
+	model    *simtime.CostModel
+}
+
+// New creates a TPM with zeroed PCRs and a fresh AIK.
+func New(model *simtime.CostModel) (*TPM, error) {
+	aik, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating AIK: %w", err)
+	}
+	return &TPM{aik: aik, model: model}, nil
+}
+
+// AIKPublic returns the attestation identity public key. In deployments
+// this is certified by a privacy CA; here the Verification Manager pins it
+// at host registration.
+func (t *TPM) AIKPublic() *ecdsa.PublicKey { return &t.aik.PublicKey }
+
+// Extend folds digest into the indexed PCR: pcr = SHA-256(pcr ‖ digest).
+func (t *TPM) Extend(index int, digest [32]byte) error {
+	if index < 0 || index >= NumPCRs {
+		return ErrPCRIndex
+	}
+	t.model.Charge(simtime.OpTPMExtend)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := sha256.New()
+	h.Write(t.pcrs[index][:])
+	h.Write(digest[:])
+	copy(t.pcrs[index][:], h.Sum(nil))
+	t.eventLog = append(t.eventLog, Event{PCR: index, Digest: digest})
+	return nil
+}
+
+// PCR returns the current value of the indexed register.
+func (t *TPM) PCR(index int) ([32]byte, error) {
+	if index < 0 || index >= NumPCRs {
+		return [32]byte{}, ErrPCRIndex
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pcrs[index], nil
+}
+
+// EventLog returns a copy of the event log.
+func (t *TPM) EventLog() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.eventLog))
+	copy(out, t.eventLog)
+	return out
+}
+
+// Quote is a signed attestation over a PCR selection (TPMS_ATTEST shape).
+type Quote struct {
+	Nonce     []byte
+	PCRs      []int
+	PCRValues [][32]byte
+	// PCRDigest is SHA-256 over the selected PCR values in selection order.
+	PCRDigest [32]byte
+	Signature []byte // ASN.1 ECDSA by the AIK over the attested digest
+}
+
+// attestedDigest binds nonce, selection and PCR digest.
+func attestedDigest(nonce []byte, pcrs []int, pcrDigest [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("tpm-quote-v1"))
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(nonce)))
+	h.Write(n[:])
+	h.Write(nonce)
+	for _, idx := range pcrs {
+		binary.Write(h, binary.BigEndian, uint32(idx))
+	}
+	h.Write(pcrDigest[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Quote produces a signed quote over the selected PCRs with the given
+// freshness nonce. Charges OpTPMQuote (TPMs are slow devices).
+func (t *TPM) Quote(nonce []byte, pcrs []int) (*Quote, error) {
+	for _, idx := range pcrs {
+		if idx < 0 || idx >= NumPCRs {
+			return nil, ErrPCRIndex
+		}
+	}
+	t.model.Charge(simtime.OpTPMQuote)
+	t.mu.Lock()
+	values := make([][32]byte, len(pcrs))
+	h := sha256.New()
+	for i, idx := range pcrs {
+		values[i] = t.pcrs[idx]
+		h.Write(t.pcrs[idx][:])
+	}
+	t.mu.Unlock()
+	var pcrDigest [32]byte
+	copy(pcrDigest[:], h.Sum(nil))
+
+	digest := attestedDigest(nonce, pcrs, pcrDigest)
+	sig, err := ecdsa.SignASN1(rand.Reader, t.aik, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("tpm: signing quote: %w", err)
+	}
+	return &Quote{
+		Nonce:     append([]byte(nil), nonce...),
+		PCRs:      append([]int(nil), pcrs...),
+		PCRValues: values,
+		PCRDigest: pcrDigest,
+		Signature: sig,
+	}, nil
+}
+
+// VerifyQuote checks a quote under the AIK public key and the expected
+// nonce, and that the carried PCR values hash to the signed digest.
+func VerifyQuote(pub *ecdsa.PublicKey, q *Quote, nonce []byte) error {
+	if string(q.Nonce) != string(nonce) {
+		return ErrNonceMismatch
+	}
+	h := sha256.New()
+	for _, v := range q.PCRValues {
+		h.Write(v[:])
+	}
+	var pcrDigest [32]byte
+	copy(pcrDigest[:], h.Sum(nil))
+	if pcrDigest != q.PCRDigest {
+		return ErrBadQuote
+	}
+	digest := attestedDigest(q.Nonce, q.PCRs, q.PCRDigest)
+	if !ecdsa.VerifyASN1(pub, digest[:], q.Signature) {
+		return ErrBadQuote
+	}
+	return nil
+}
+
+// ReplayEventLog recomputes the final value of a PCR from an event log,
+// as a verifier does to match a log against a quoted PCR.
+func ReplayEventLog(events []Event, pcr int) [32]byte {
+	var val [32]byte
+	for _, ev := range events {
+		if ev.PCR != pcr {
+			continue
+		}
+		h := sha256.New()
+		h.Write(val[:])
+		h.Write(ev.Digest[:])
+		copy(val[:], h.Sum(nil))
+	}
+	return val
+}

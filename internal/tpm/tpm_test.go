@@ -1,0 +1,183 @@
+package tpm
+
+import (
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"vnfguard/internal/simtime"
+)
+
+func newTPM(t *testing.T) *TPM {
+	t.Helper()
+	d, err := New(simtime.ZeroCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExtendAndRead(t *testing.T) {
+	d := newTPM(t)
+	zero, err := d.PCR(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != [32]byte{} {
+		t.Fatal("fresh PCR not zero")
+	}
+	if err := d.Extend(10, sha256.Sum256([]byte("m1"))); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := d.PCR(10)
+	if v1 == [32]byte{} {
+		t.Fatal("extend did not change PCR")
+	}
+	if err := d.Extend(10, sha256.Sum256([]byte("m2"))); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := d.PCR(10)
+	if v2 == v1 {
+		t.Fatal("second extend did not change PCR")
+	}
+}
+
+func TestExtendBounds(t *testing.T) {
+	d := newTPM(t)
+	if err := d.Extend(-1, [32]byte{}); !errors.Is(err, ErrPCRIndex) {
+		t.Fatal("negative index accepted")
+	}
+	if err := d.Extend(NumPCRs, [32]byte{}); !errors.Is(err, ErrPCRIndex) {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := d.PCR(NumPCRs); !errors.Is(err, ErrPCRIndex) {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestQuoteVerify(t *testing.T) {
+	d := newTPM(t)
+	d.Extend(10, sha256.Sum256([]byte("ima entry")))
+	nonce := []byte("fresh nonce")
+	q, err := d.Quote(nonce, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(d.AIKPublic(), q, nonce); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+}
+
+func TestQuoteRejectsWrongNonce(t *testing.T) {
+	d := newTPM(t)
+	q, err := d.Quote([]byte("n1"), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(d.AIKPublic(), q, []byte("n2")); !errors.Is(err, ErrNonceMismatch) {
+		t.Fatalf("got %v, want ErrNonceMismatch", err)
+	}
+}
+
+func TestQuoteRejectsTamperedPCRValues(t *testing.T) {
+	d := newTPM(t)
+	d.Extend(10, sha256.Sum256([]byte("x")))
+	nonce := []byte("n")
+	q, err := d.Quote(nonce, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.PCRValues[0][0] ^= 0xFF
+	if err := VerifyQuote(d.AIKPublic(), q, nonce); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("got %v, want ErrBadQuote", err)
+	}
+}
+
+func TestQuoteRejectsForeignAIK(t *testing.T) {
+	d1, d2 := newTPM(t), newTPM(t)
+	nonce := []byte("n")
+	q, err := d1.Quote(nonce, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(d2.AIKPublic(), q, nonce); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("got %v, want ErrBadQuote", err)
+	}
+}
+
+func TestQuotePCRSelectionValidated(t *testing.T) {
+	d := newTPM(t)
+	if _, err := d.Quote(nil, []int{10, 99}); !errors.Is(err, ErrPCRIndex) {
+		t.Fatal("bad selection accepted")
+	}
+}
+
+func TestEventLogReplayMatchesPCR(t *testing.T) {
+	d := newTPM(t)
+	for i := 0; i < 5; i++ {
+		d.Extend(10, sha256.Sum256([]byte{byte(i)}))
+	}
+	d.Extend(11, sha256.Sum256([]byte("other")))
+	want, _ := d.PCR(10)
+	if got := ReplayEventLog(d.EventLog(), 10); got != want {
+		t.Fatal("replay does not reproduce PCR 10")
+	}
+	want11, _ := d.PCR(11)
+	if got := ReplayEventLog(d.EventLog(), 11); got != want11 {
+		t.Fatal("replay does not reproduce PCR 11")
+	}
+}
+
+func TestReplayPropertyArbitrarySequences(t *testing.T) {
+	f := func(digests [][32]byte) bool {
+		d, err := New(simtime.ZeroCosts())
+		if err != nil {
+			return false
+		}
+		for _, dg := range digests {
+			if err := d.Extend(10, dg); err != nil {
+				return false
+			}
+		}
+		want, _ := d.PCR(10)
+		return ReplayEventLog(d.EventLog(), 10) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteChargesCost(t *testing.T) {
+	model := simtime.ZeroCosts()
+	d, err := New(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Quote(nil, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if model.Count(simtime.OpTPMQuote) != 1 {
+		t.Fatal("quote cost not charged")
+	}
+	d.Extend(0, [32]byte{1})
+	if model.Count(simtime.OpTPMExtend) != 1 {
+		t.Fatal("extend cost not charged")
+	}
+}
+
+// TestTamperResistanceScenario encodes the §4 threat: root rewrites the
+// software log, but the TPM PCR still reflects the true history.
+func TestTamperResistanceScenario(t *testing.T) {
+	d := newTPM(t)
+	evil := sha256.Sum256([]byte("evil binary"))
+	d.Extend(10, evil)
+
+	// Adversary forges a clean log omitting the evil entry.
+	forged := []Event{{PCR: 10, Digest: sha256.Sum256([]byte("innocent binary"))}}
+	replayed := ReplayEventLog(forged, 10)
+	actual, _ := d.PCR(10)
+	if replayed == actual {
+		t.Fatal("forged log replays to the quoted PCR value")
+	}
+}

@@ -1,0 +1,120 @@
+package verifier
+
+import (
+	"sync"
+	"time"
+)
+
+// MonitorEvent reports the outcome of one monitoring cycle for one host.
+// The paper's introduction motivates exactly this: "integrity monitoring
+// and integrity verification are used to detect the compromise of the OS
+// virtualization layer and of VNFs deployed in containers".
+type MonitorEvent struct {
+	Host    string
+	Trusted bool
+	// RevokedVNFs lists enrollments automatically revoked because their
+	// host lost trust in this cycle.
+	RevokedVNFs []string
+	Findings    []string
+	At          time.Time
+}
+
+// Monitor periodically re-attests every registered host and revokes the
+// credentials of VNFs on hosts that fail appraisal, bounding the window
+// in which a compromised host can keep using provisioned credentials.
+type Monitor struct {
+	m        *Manager
+	interval time.Duration
+	events   chan MonitorEvent
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartMonitor begins continuous attestation at the given interval.
+// Events are delivered on the returned Monitor's Events channel (buffered;
+// overflow drops oldest-first semantics are avoided by dropping the new
+// event, keeping the channel non-blocking for the attestation loop).
+func (m *Manager) StartMonitor(interval time.Duration) *Monitor {
+	mon := &Monitor{
+		m:        m,
+		interval: interval,
+		events:   make(chan MonitorEvent, 64),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go mon.loop()
+	return mon
+}
+
+// Events delivers monitoring outcomes.
+func (mon *Monitor) Events() <-chan MonitorEvent { return mon.events }
+
+// Stop halts the monitor and waits for the loop to exit.
+func (mon *Monitor) Stop() {
+	mon.stopOnce.Do(func() { close(mon.stop) })
+	<-mon.done
+}
+
+func (mon *Monitor) loop() {
+	defer close(mon.done)
+	ticker := time.NewTicker(mon.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-mon.stop:
+			return
+		case <-ticker.C:
+			mon.cycle()
+		}
+	}
+}
+
+// cycle re-attests every host and enforces revocation on failure.
+func (mon *Monitor) cycle() {
+	mon.m.mu.Lock()
+	names := make([]string, 0, len(mon.m.hosts))
+	for name := range mon.m.hosts {
+		names = append(names, name)
+	}
+	mon.m.mu.Unlock()
+
+	for _, name := range names {
+		app, err := mon.m.AttestHost(name)
+		ev := MonitorEvent{Host: name, At: time.Now()}
+		if err != nil {
+			ev.Trusted = false
+			ev.Findings = []string{err.Error()}
+		} else {
+			ev.Trusted = app.Trusted
+			ev.Findings = app.Findings
+		}
+		if !ev.Trusted {
+			ev.RevokedVNFs = mon.m.revokeHostEnrollments(name)
+		}
+		select {
+		case mon.events <- ev:
+		default: // receiver is slow; drop rather than stall attestation
+		}
+	}
+}
+
+// revokeHostEnrollments revokes every enrollment on a host, returning the
+// affected VNF names.
+func (m *Manager) revokeHostEnrollments(hostName string) []string {
+	m.mu.Lock()
+	var vnfs []string
+	for name, enr := range m.enrollments {
+		if enr.Host == hostName {
+			vnfs = append(vnfs, name)
+		}
+	}
+	m.mu.Unlock()
+	for _, v := range vnfs {
+		// Best-effort: the certificate is revoked even when the (now
+		// untrusted) host refuses the enclave wipe.
+		_ = m.RevokeVNF(v)
+	}
+	return vnfs
+}

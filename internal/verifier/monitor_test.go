@@ -1,0 +1,107 @@
+package verifier
+
+import (
+	"testing"
+	"time"
+)
+
+// waitEvent receives one event or fails after a deadline.
+func waitEvent(t *testing.T, mon *Monitor) MonitorEvent {
+	t.Helper()
+	select {
+	case ev := <-mon.Events():
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("no monitor event")
+		panic("unreachable")
+	}
+}
+
+func TestMonitorReportsHealthyHost(t *testing.T) {
+	d := newDeployment(t, deployOpts{})
+	d.deployAndLearn(t, "fw-1")
+	mon := d.m.StartMonitor(20 * time.Millisecond)
+	defer mon.Stop()
+	ev := waitEvent(t, mon)
+	if ev.Host != "host-a" || !ev.Trusted {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.RevokedVNFs) != 0 {
+		t.Fatalf("healthy cycle revoked %v", ev.RevokedVNFs)
+	}
+}
+
+func TestMonitorRevokesOnCompromise(t *testing.T) {
+	d := newDeployment(t, deployOpts{})
+	d.deployAndLearn(t, "fw-1")
+	if _, err := d.m.AttestHost("host-a"); err != nil {
+		t.Fatal(err)
+	}
+	enr, err := d.m.EnrollVNF("host-a", "fw-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compromise the host after enrollment.
+	d.h.TamperBinary("fw-1", "/usr/bin/firewall", []byte("rootkit"))
+
+	mon := d.m.StartMonitor(20 * time.Millisecond)
+	defer mon.Stop()
+
+	var ev MonitorEvent
+	for {
+		ev = waitEvent(t, mon)
+		if !ev.Trusted {
+			break
+		}
+	}
+	if len(ev.RevokedVNFs) != 1 || ev.RevokedVNFs[0] != "fw-1" {
+		t.Fatalf("revoked = %v", ev.RevokedVNFs)
+	}
+	// The certificate is on the CRL and the enrollment is gone.
+	if !d.m.CA().IsRevoked(enr.Cert.SerialNumber) {
+		t.Fatal("certificate not revoked by monitor")
+	}
+	if len(d.m.Enrollments()) != 0 {
+		t.Fatal("enrollment survived monitor revocation")
+	}
+}
+
+func TestMonitorStopTerminatesLoop(t *testing.T) {
+	d := newDeployment(t, deployOpts{})
+	d.deployAndLearn(t, "fw-1")
+	mon := d.m.StartMonitor(10 * time.Millisecond)
+	waitEvent(t, mon)
+	done := make(chan struct{})
+	go func() {
+		mon.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+	// Stop is idempotent.
+	mon.Stop()
+}
+
+func TestMonitorSurvivesSlowReceiver(t *testing.T) {
+	d := newDeployment(t, deployOpts{})
+	d.deployAndLearn(t, "fw-1")
+	mon := d.m.StartMonitor(time.Millisecond)
+	// Don't read events; let the buffer fill. The loop must not deadlock.
+	time.Sleep(300 * time.Millisecond)
+	mon.Stop()
+	// Drain what's there; all events should be healthy.
+	for {
+		select {
+		case ev := <-mon.Events():
+			if !ev.Trusted {
+				t.Fatalf("unexpected untrusted event: %+v", ev)
+			}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package vnf provides the virtual network functions deployed in the
+// paper's scenario and the Instance machinery that connects them to the
+// network controller using enclave-resident credentials (step 6 of the
+// workflow): every north-bound REST call authenticates with the
+// provisioned client certificate, whose private key never leaves the
+// credential enclave.
+package vnf
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/enclaveapp"
+)
+
+// Env describes where a VNF sits in the forwarding plane: the switch it
+// programs and its inside/outside ports.
+type Env struct {
+	Switch  string
+	InPort  int
+	OutPort int
+}
+
+// VNF produces the flow entries realising a network function.
+type VNF interface {
+	// Name is the VNF instance name (certificate CN).
+	Name() string
+	// Kind is the function type (firewall, loadbalancer, monitor).
+	Kind() string
+	// Flows returns the entries to push for the given environment.
+	Flows(env Env) []controller.FlowSpec
+}
+
+// ---- Firewall -----------------------------------------------------------------
+
+// FWRule is one firewall rule; earlier rules take precedence.
+type FWRule struct {
+	Allow   bool
+	Proto   string // "tcp", "udp", "" (any)
+	DstPort uint16 // 0 = any
+	Src     netip.Prefix
+	Dst     netip.Prefix
+}
+
+// Firewall is a stateless packet filter with a default-deny tail.
+type Firewall struct {
+	InstanceName string
+	Rules        []FWRule
+}
+
+// Name implements VNF.
+func (f *Firewall) Name() string { return f.InstanceName }
+
+// Kind implements VNF.
+func (f *Firewall) Kind() string { return "firewall" }
+
+// Flows implements VNF: one entry per rule at descending priority plus a
+// default drop.
+func (f *Firewall) Flows(env Env) []controller.FlowSpec {
+	out := make([]controller.FlowSpec, 0, len(f.Rules)+1)
+	base := 1000
+	for i, r := range f.Rules {
+		spec := controller.FlowSpec{
+			Name:     fmt.Sprintf("%s-rule-%d", f.InstanceName, i),
+			Switch:   env.Switch,
+			Priority: strconv.Itoa(base - i),
+			InPort:   strconv.Itoa(env.InPort),
+			IPProto:  r.Proto,
+		}
+		if r.DstPort != 0 {
+			spec.TCPDst = strconv.Itoa(int(r.DstPort))
+		}
+		if r.Src.IsValid() {
+			spec.IPv4Src = r.Src.String()
+		}
+		if r.Dst.IsValid() {
+			spec.IPv4Dst = r.Dst.String()
+		}
+		if r.Allow {
+			spec.Actions = fmt.Sprintf("output=%d", env.OutPort)
+		} else {
+			spec.Actions = "drop"
+		}
+		out = append(out, spec)
+	}
+	out = append(out, controller.FlowSpec{
+		Name:     f.InstanceName + "-default-deny",
+		Switch:   env.Switch,
+		Priority: "1",
+		InPort:   strconv.Itoa(env.InPort),
+		Actions:  "drop",
+	})
+	return out
+}
+
+// ---- Load balancer -------------------------------------------------------------
+
+// Backend is one load-balancer target.
+type Backend struct {
+	// Clients carries the source prefix this backend serves (prefix-hash
+	// distribution: the flow-level equivalent of consistent hashing
+	// without header rewriting).
+	Clients netip.Prefix
+	// Port is the switch port toward the backend.
+	Port int
+}
+
+// LoadBalancer splits traffic for a virtual IP across backends by client
+// prefix.
+type LoadBalancer struct {
+	InstanceName string
+	VIP          netip.Prefix
+	Service      uint16 // TCP port of the balanced service
+	Backends     []Backend
+}
+
+// Name implements VNF.
+func (l *LoadBalancer) Name() string { return l.InstanceName }
+
+// Kind implements VNF.
+func (l *LoadBalancer) Kind() string { return "loadbalancer" }
+
+// Flows implements VNF.
+func (l *LoadBalancer) Flows(env Env) []controller.FlowSpec {
+	out := make([]controller.FlowSpec, 0, len(l.Backends))
+	for i, b := range l.Backends {
+		out = append(out, controller.FlowSpec{
+			Name:     fmt.Sprintf("%s-backend-%d", l.InstanceName, i),
+			Switch:   env.Switch,
+			Priority: "1500",
+			IPv4Src:  b.Clients.String(),
+			IPv4Dst:  l.VIP.String(),
+			IPProto:  "tcp",
+			TCPDst:   strconv.Itoa(int(l.Service)),
+			Actions:  fmt.Sprintf("output=%d", b.Port),
+		})
+	}
+	return out
+}
+
+// ---- Monitor -------------------------------------------------------------------
+
+// Monitor mirrors suspicious traffic to the controller (an IDS tap).
+type Monitor struct {
+	InstanceName string
+	// WatchPorts lists TCP destination ports to punt.
+	WatchPorts []uint16
+}
+
+// Name implements VNF.
+func (m *Monitor) Name() string { return m.InstanceName }
+
+// Kind implements VNF.
+func (m *Monitor) Kind() string { return "monitor" }
+
+// Flows implements VNF: punted packets still forward (copy semantics are
+// approximated by controller+output actions).
+func (m *Monitor) Flows(env Env) []controller.FlowSpec {
+	out := make([]controller.FlowSpec, 0, len(m.WatchPorts))
+	for _, p := range m.WatchPorts {
+		out = append(out, controller.FlowSpec{
+			Name:     fmt.Sprintf("%s-watch-%d", m.InstanceName, p),
+			Switch:   env.Switch,
+			Priority: "2000",
+			IPProto:  "tcp",
+			TCPDst:   strconv.Itoa(int(p)),
+			Actions:  fmt.Sprintf("controller,output=%d", env.OutPort),
+		})
+	}
+	return out
+}
+
+// ---- Instance -------------------------------------------------------------------
+
+// Instance is a deployed VNF bound to its credential enclave and the
+// controller's north-bound API.
+type Instance struct {
+	vnf     VNF
+	enclave *enclaveapp.CredentialEnclave
+	client  *controller.Client
+	env     Env
+	mode    enclaveapp.TLSMode
+}
+
+// NewInstance connects a VNF to the controller using the enclave's
+// provisioned credentials in the given TLS placement mode.
+func NewInstance(v VNF, ce *enclaveapp.CredentialEnclave, controllerURL, serverName string, env Env, mode enclaveapp.TLSMode) (*Instance, error) {
+	inst := &Instance{vnf: v, enclave: ce, env: env, mode: mode}
+	switch mode {
+	case enclaveapp.TLSKeyInEnclave:
+		cfg, err := ce.ClientTLSConfig(serverName)
+		if err != nil {
+			return nil, fmt.Errorf("vnf: building TLS config: %w", err)
+		}
+		inst.client = controller.NewClient(controllerURL, cfg)
+	case enclaveapp.TLSFullSession:
+		dial := func(ctx context.Context, network, addr string) (net.Conn, error) {
+			raw, err := (&net.Dialer{}).DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			conn, err := ce.DialTLS(raw, serverName)
+			if err != nil {
+				raw.Close()
+				return nil, err
+			}
+			return conn, nil
+		}
+		inst.client = controller.NewClientWithDialer(controllerURL, dial)
+	default:
+		return nil, fmt.Errorf("vnf: unknown TLS mode %v", mode)
+	}
+	return inst, nil
+}
+
+// VNF returns the wrapped function.
+func (i *Instance) VNF() VNF { return i.vnf }
+
+// Client exposes the controller client (for health checks in examples).
+func (i *Instance) Client() *controller.Client { return i.client }
+
+// Activate pushes the VNF's flows through the authenticated north-bound
+// API.
+func (i *Instance) Activate() error {
+	for _, spec := range i.vnf.Flows(i.env) {
+		if err := i.client.PushFlow(spec); err != nil {
+			return fmt.Errorf("vnf %s: pushing %s: %w", i.vnf.Name(), spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// Deactivate removes the VNF's flows.
+func (i *Instance) Deactivate() error {
+	var firstErr error
+	for _, spec := range i.vnf.Flows(i.env) {
+		if err := i.client.DeleteFlow(spec.Name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	i.client.CloseIdle()
+	return firstErr
+}

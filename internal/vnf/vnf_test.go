@@ -1,0 +1,123 @@
+package vnf
+
+import (
+	"net/netip"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vnfguard/internal/controller"
+	"vnfguard/internal/netsim"
+)
+
+func env() Env { return Env{Switch: "s1", InPort: 1, OutPort: 2} }
+
+func TestFirewallFlows(t *testing.T) {
+	fw := &Firewall{
+		InstanceName: "fw-1",
+		Rules: []FWRule{
+			{Allow: true, Proto: "tcp", DstPort: 443, Dst: netip.MustParsePrefix("10.0.0.0/24")},
+			{Allow: false, Proto: "tcp", DstPort: 22},
+		},
+	}
+	flows := fw.Flows(env())
+	if len(flows) != 3 {
+		t.Fatalf("flow count = %d", len(flows))
+	}
+	if flows[0].Actions != "output=2" || flows[0].TCPDst != "443" {
+		t.Fatalf("rule 0 = %+v", flows[0])
+	}
+	if flows[1].Actions != "drop" || flows[1].TCPDst != "22" {
+		t.Fatalf("rule 1 = %+v", flows[1])
+	}
+	last := flows[len(flows)-1]
+	if last.Actions != "drop" || last.Priority != "1" {
+		t.Fatalf("default rule = %+v", last)
+	}
+	// Rule priorities strictly descend so earlier rules win.
+	p0, err := strconv.Atoi(flows[0].Priority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := strconv.Atoi(flows[1].Priority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 <= p1 {
+		t.Fatalf("priorities: %d vs %d", p0, p1)
+	}
+	// Every flow compiles at the controller.
+	for _, f := range flows {
+		if err := (controller.New("t", testNet(t))).PushFlow(f); err != nil {
+			t.Fatalf("flow %s does not compile: %v", f.Name, err)
+		}
+	}
+}
+
+func testNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	n := netsim.NewNetwork()
+	if _, err := n.AddSwitch("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost("h-in", "s1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachHost("h-out", "s1", 2); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLoadBalancerFlows(t *testing.T) {
+	lb := &LoadBalancer{
+		InstanceName: "lb-1",
+		VIP:          netip.MustParsePrefix("10.0.0.100/32"),
+		Service:      80,
+		Backends: []Backend{
+			{Clients: netip.MustParsePrefix("192.168.0.0/17"), Port: 3},
+			{Clients: netip.MustParsePrefix("192.168.128.0/17"), Port: 4},
+		},
+	}
+	flows := lb.Flows(env())
+	if len(flows) != 2 {
+		t.Fatalf("flow count = %d", len(flows))
+	}
+	if flows[0].Actions != "output=3" || flows[1].Actions != "output=4" {
+		t.Fatalf("flows = %+v", flows)
+	}
+	for _, f := range flows {
+		if f.IPv4Dst != "10.0.0.100/32" || f.TCPDst != "80" {
+			t.Fatalf("flow = %+v", f)
+		}
+	}
+}
+
+func TestMonitorFlows(t *testing.T) {
+	m := &Monitor{InstanceName: "ids-1", WatchPorts: []uint16{22, 23}}
+	flows := m.Flows(env())
+	if len(flows) != 2 {
+		t.Fatalf("flow count = %d", len(flows))
+	}
+	for _, f := range flows {
+		if !strings.Contains(f.Actions, "controller") || !strings.Contains(f.Actions, "output=2") {
+			t.Fatalf("monitor actions = %q", f.Actions)
+		}
+	}
+}
+
+func TestVNFKinds(t *testing.T) {
+	cases := []struct {
+		v    VNF
+		kind string
+	}{
+		{&Firewall{InstanceName: "a"}, "firewall"},
+		{&LoadBalancer{InstanceName: "b"}, "loadbalancer"},
+		{&Monitor{InstanceName: "c"}, "monitor"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%T kind = %q", c.v, c.v.Kind())
+		}
+	}
+}
