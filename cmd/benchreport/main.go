@@ -1,5 +1,5 @@
 // Command benchreport regenerates every experiment in EXPERIMENTS.md
-// (E1–E10): it assembles deployments per DESIGN.md §4, runs the
+// (E1–E12): it assembles deployments per DESIGN.md §4, runs the
 // workloads, and prints one table per experiment. Pass -markdown to emit
 // GitHub-flavored tables for pasting into EXPERIMENTS.md.
 //
@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"crypto/ecdsa"
 	"crypto/tls"
 
 	"vnfguard/internal/controller"
@@ -27,6 +28,7 @@ import (
 	"vnfguard/internal/metrics"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/simtime"
+	"vnfguard/internal/translog"
 	"vnfguard/internal/vnf"
 )
 
@@ -55,6 +57,8 @@ func main() {
 		{"E8", "Enrollment scaling", runE8},
 		{"E9", "Revocation", runE9},
 		{"E10", "SGX substrate primitives", runE10},
+		{"E11", "Transparency log appends (batched vs unbatched)", runE11},
+		{"E12", "Credential inclusion-proof verification", runE12},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -711,5 +715,113 @@ func runE10(runs int) (*metrics.Table, error) {
 			panic(err)
 		}
 	})
+	return t, nil
+}
+
+// runE11 measures the transparency log's write path: per-entry commit
+// latency unbatched (one tree-head signature per entry) against the
+// batched appender (signature amortised over the batch).
+func runE11(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	mkEntry := func(i int) translog.Entry {
+		return translog.Entry{
+			Type: translog.EntryAttestOK, Timestamp: int64(i),
+			Actor: fmt.Sprintf("fw-%d", i), Host: "host-0", Detail: "OK",
+		}
+	}
+	const perRun = 2048
+
+	unbatched, err := translog.NewLog(ca.Signer())
+	if err != nil {
+		return nil, err
+	}
+	hu := metrics.NewHistogram("unbatched")
+	for r := 0; r < runs; r++ {
+		hu.Time(func() {
+			for i := 0; i < perRun; i++ {
+				if _, err := unbatched.Append(mkEntry(i)); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+
+	batched, err := translog.NewLog(ca.Signer())
+	if err != nil {
+		return nil, err
+	}
+	app := translog.NewAppender(batched, translog.AppenderConfig{MaxBatch: 256})
+	defer app.Close()
+	hb := metrics.NewHistogram("batched")
+	for r := 0; r < runs; r++ {
+		hb.Time(func() {
+			for i := 0; i < perRun; i++ {
+				if err := app.Append(mkEntry(i)); err != nil {
+					panic(err)
+				}
+			}
+			if err := app.Flush(); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	perEntry := func(mean time.Duration) string {
+		return fmt.Sprintf("%.2f µs", float64(mean)/float64(perRun)/float64(time.Microsecond))
+	}
+	uMean, bMean := hu.Summarize().Mean, hb.Summarize().Mean
+	t := metrics.NewTable("E11 — transparency log appends (n="+fmt.Sprint(runs)+", "+fmt.Sprint(perRun)+" entries/run)",
+		"variant", "per-entry latency", "speedup")
+	t.AddRow("unbatched (sign per entry)", perEntry(uMean), "1.0×")
+	t.AddRow("batched appender (256/batch)", perEntry(bMean),
+		fmt.Sprintf("%.1f×", float64(uMean)/float64(bMean)))
+	return t, nil
+}
+
+// runE12 measures the relying-party read path: proof generation plus full
+// verification per credential lookup against a populated log.
+func runE12(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	pub := ca.Certificate().PublicKey.(*ecdsa.PublicKey)
+	t := metrics.NewTable("E12 — inclusion proof verify (n="+fmt.Sprint(runs)+")",
+		"log size", "lookup+prove+verify", "proof length")
+	for _, population := range []int{256, 4096, 65536} {
+		l, err := translog.NewLog(ca.Signer())
+		if err != nil {
+			return nil, err
+		}
+		batch := make([]translog.Entry, population)
+		for i := range batch {
+			batch[i] = translog.Entry{
+				Type: translog.EntryEnroll, Timestamp: int64(i),
+				Actor: fmt.Sprintf("fw-%d", i), Serial: fmt.Sprint(i),
+			}
+		}
+		if _, err := l.AppendBatch(batch); err != nil {
+			return nil, err
+		}
+		h := metrics.NewHistogram("verify")
+		var proofLen int
+		for i := 0; i < runs*64; i++ {
+			serial := fmt.Sprint(i % population)
+			h.Time(func() {
+				pb, err := l.ProveSerial(serial)
+				if err != nil {
+					panic(err)
+				}
+				if err := pb.Verify(pub); err != nil {
+					panic(err)
+				}
+				proofLen = len(pb.Proof)
+			})
+		}
+		t.AddRow(fmt.Sprint(population), fmt.Sprintf("%.1f µs", float64(h.Summarize().Mean)/float64(time.Microsecond)), fmt.Sprintf("%d hashes", proofLen))
+	}
 	return t, nil
 }

@@ -1,0 +1,132 @@
+// Command log-server runs the attestation transparency log as a
+// standalone service, and doubles as the auditor that watches one.
+//
+// Serve mode hosts the Merkle log over HTTP. Tree heads are signed with
+// the deployment CA key published by `verification-manager -init`, so
+// every signed head chains to the same trust anchor the controller
+// already holds:
+//
+//	log-server -state-dir ./state -addr 127.0.0.1:8879
+//
+// The Verification Manager (or any producer) appends entries via
+// POST /translog/v1/append; controllers and VNFs fetch tree heads,
+// entries, inclusion proofs and consistency proofs from the read
+// endpoints. The server publishes its URL into the state directory.
+//
+// Monitor mode is the other side of the audit: it polls the log's signed
+// tree heads and verifies that every new head is a consistency-proven
+// extension of the last one, detecting split views and rollbacks:
+//
+//	log-server -monitor -state-dir ./state -interval 2s
+package main
+
+import (
+	"crypto/ecdsa"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"vnfguard/internal/pki"
+	"vnfguard/internal/statedir"
+	"vnfguard/internal/translog"
+)
+
+func main() {
+	stateDir := flag.String("state-dir", "./state", "shared state directory")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (serve mode)")
+	monitor := flag.Bool("monitor", false, "audit a running log server instead of serving")
+	logURL := flag.String("url", "", "log server URL (monitor mode; default: read from state dir)")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval (monitor mode)")
+	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
+	flag.Parse()
+
+	dir, err := statedir.Open(*stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *monitor {
+		runMonitor(dir, *logURL, *interval, *wait)
+		return
+	}
+	runServe(dir, *addr, *wait)
+}
+
+// caPublicKey loads the deployment's log verification key from the
+// published CA certificate.
+func caPublicKey(dir *statedir.Dir, wait time.Duration) *ecdsa.PublicKey {
+	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
+	if err != nil {
+		log.Fatalf("run `verification-manager -init` first: %v", err)
+	}
+	cert, err := pki.ParseCertPEM(caCertPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		log.Fatalf("CA key type %T unsupported", cert.PublicKey)
+	}
+	return pub
+}
+
+func runServe(dir *statedir.Dir, addr string, wait time.Duration) {
+	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
+	if err != nil {
+		log.Fatalf("run `verification-manager -init` first: %v", err)
+	}
+	caKeyPEM, err := dir.WaitFor(statedir.FileCAKey, wait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := pki.LoadCA(caCertPEM, caKeyPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := translog.NewLog(ca.Signer())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	if err := dir.Write(statedir.FileLogURL, []byte(url)); err != nil {
+		log.Fatal(err)
+	}
+	sth := l.STH()
+	log.Printf("transparency log serving at %s (tree size %d)", url, sth.Size)
+	log.Fatal((&http.Server{Handler: translog.Handler(l)}).Serve(ln))
+}
+
+func runMonitor(dir *statedir.Dir, url string, interval, wait time.Duration) {
+	if url == "" {
+		raw, err := dir.WaitFor(statedir.FileLogURL, wait)
+		if err != nil {
+			log.Fatalf("no -url and no published log URL (start log-server): %v", err)
+		}
+		url = string(raw)
+	}
+	pub := caPublicKey(dir, wait)
+	client := translog.NewClient(url, pub)
+	witness := translog.NewWitness(pub)
+	log.Printf("monitoring %s (poll every %s)", url, interval)
+	for {
+		sth, err := client.STH()
+		if err != nil {
+			log.Printf("fetch: %v", err)
+			time.Sleep(interval)
+			continue
+		}
+		if err := witness.Advance(sth, client.ConsistencyProof); err != nil {
+			// A consistency failure is the monitor's reason to exist:
+			// report loudly and exit non-zero so operators page on it.
+			log.Fatalf("AUDIT FAILURE: %v", err)
+		}
+		last, _ := witness.Last()
+		log.Printf("tree head ok: size=%d root=%x…", last.Size, last.RootHash[:8])
+		time.Sleep(interval)
+	}
+}

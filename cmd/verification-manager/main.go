@@ -36,6 +36,7 @@ import (
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/simtime"
 	"vnfguard/internal/statedir"
+	"vnfguard/internal/translog"
 	"vnfguard/internal/verifier"
 )
 
@@ -259,8 +260,31 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 		if err := vm.CA().VerifyClient(enr.Cert); err != nil {
 			log.Fatalf("enrolled certificate failed verification: %v", err)
 		}
-		log.Printf("enrolled %s on %s: certificate serial %s (client-auth verified)",
-			enr.VNF, enr.Host, enr.Serial)
+		pb, err := vm.CredentialProof(enr.Serial)
+		if err != nil {
+			log.Fatalf("enrolled credential missing from transparency log: %v", err)
+		}
+		if err := pb.Verify(vm.CA().Certificate().PublicKey.(*ecdsa.PublicKey)); err != nil {
+			log.Fatalf("credential inclusion proof failed: %v", err)
+		}
+		log.Printf("enrolled %s on %s: certificate serial %s (client-auth verified; logged at index %d of %d)",
+			enr.VNF, enr.Host, enr.Serial, pb.Index, pb.STH.Size)
+	}
+
+	// Mirror the audit trail to the deployment's public log server when
+	// one is running, so auditors and controllers in other processes can
+	// fetch proofs without reaching into the VM.
+	if err := vm.FlushLog(); err != nil {
+		log.Printf("flushing transparency log: %v", err)
+	}
+	if logURL, err := dir.ReadString(statedir.FileLogURL); err == nil {
+		l := vm.TransparencyLog()
+		entries := l.Entries(0, l.Size())
+		if err := translog.NewClient(logURL, nil).Append(entries); err != nil {
+			log.Printf("mirroring audit entries to %s: %v", logURL, err)
+		} else {
+			log.Printf("mirrored %d audit entries to log server %s", len(entries), logURL)
+		}
 	}
 
 	if url, err := dir.ReadString(statedir.FileControllerURL); err == nil {

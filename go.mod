@@ -1,0 +1,3 @@
+module vnfguard
+
+go 1.24

@@ -69,9 +69,16 @@ type ServerConfig struct {
 	// Keystore holds hex SHA-256 fingerprints of pinned client
 	// certificates (TrustKeystore).
 	Keystore map[string]bool
-	// Revoked, when set, rejects revoked client certificates (CRL check
-	// against the Verification Manager's CRL).
+	// Revoked, when set, rejects revoked client certificates. It is
+	// enforced at the TLS handshake and again on every request, so a
+	// revocation takes effect mid-session even on kept-alive connections.
 	Revoked func(*x509.Certificate) error
+	// CredentialLog, when set, requires every trusted-mode client
+	// certificate to carry a verifiable inclusion proof in the
+	// Verification Manager's transparency log (translog.NewCredentialChecker):
+	// credentials the VM never logged are rejected even when correctly
+	// CA-signed.
+	CredentialLog func(*x509.Certificate) error
 }
 
 // Fingerprint computes the keystore key for a certificate.
@@ -100,6 +107,22 @@ func Serve(ctrl *Controller, cfg ServerConfig, addr string) (*Server, error) {
 		s.keystore = make(map[string]bool)
 	}
 	handler := ctrl.Handler()
+	if cfg.Mode == ModeTrustedHTTPS && cfg.Revoked != nil {
+		// Revocation is re-checked per request, not only per handshake:
+		// without this, a client holding a keep-alive connection keeps its
+		// access for the lifetime of the TLS session after the VM revoked
+		// its credential.
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+				if err := cfg.Revoked(r.TLS.PeerCertificates[0]); err != nil {
+					http.Error(w, "client certificate revoked", http.StatusForbidden)
+					return
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
 	s.http = &http.Server{
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -134,7 +157,7 @@ func Serve(ctrl *Controller, cfg ServerConfig, addr string) (*Server, error) {
 			}
 			tcfg.ClientAuth = tls.RequireAndVerifyClientCert
 			tcfg.ClientCAs = cfg.ClientCAs
-			tcfg.VerifyPeerCertificate = VerifyClientChain(cfg.ClientCAs, cfg.Revoked)
+			tcfg.VerifyPeerCertificate = VerifyClientChain(cfg.ClientCAs, cfg.Revoked, cfg.CredentialLog)
 		case TrustKeystore:
 			tcfg.ClientAuth = tls.RequireAnyClientCert
 			tcfg.VerifyPeerCertificate = func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
@@ -148,12 +171,19 @@ func Serve(ctrl *Controller, cfg ServerConfig, addr string) (*Server, error) {
 				if !ok {
 					return ErrNotPinned
 				}
-				if cfg.Revoked != nil {
+				if cfg.Revoked != nil || cfg.CredentialLog != nil {
 					cert, err := x509.ParseCertificate(rawCerts[0])
 					if err != nil {
 						return err
 					}
-					return cfg.Revoked(cert)
+					if cfg.Revoked != nil {
+						if err := cfg.Revoked(cert); err != nil {
+							return err
+						}
+					}
+					if cfg.CredentialLog != nil {
+						return cfg.CredentialLog(cert)
+					}
 				}
 				return nil
 			}

@@ -159,6 +159,12 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		Trust:   opts.Trust,
 		Revoked: d.VM.RevocationChecker(),
 	}
+	if opts.Mode == controller.ModeTrustedHTTPS {
+		// The paper's trusted mode hardened with the transparency log: a
+		// client certificate is only accepted with a verifiable inclusion
+		// proof that the VM logged its issuance.
+		cfg.CredentialLog = d.VM.CredentialChecker()
+	}
 	if opts.Mode == controller.ModeTrustedHTTPS && opts.Trust == controller.TrustCA {
 		cfg.ClientCAs = d.VM.CA().Pool()
 	}
@@ -264,6 +270,9 @@ func (d *Deployment) HostName(i int) string { return fmt.Sprintf("host-%d", i) }
 func (d *Deployment) Close() {
 	if d.Server != nil {
 		d.Server.Close()
+	}
+	if d.VM != nil {
+		d.VM.Close()
 	}
 	if d.iasHTTP != nil {
 		d.iasHTTP.Close()

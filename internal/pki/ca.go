@@ -91,6 +91,11 @@ func NewCA(commonName string, validity time.Duration) (*CA, error) {
 // Certificate returns the CA certificate.
 func (ca *CA) Certificate() *x509.Certificate { return ca.cert }
 
+// Signer exposes the CA key as a crypto.Signer for non-certificate
+// signatures rooted in the same trust anchor (the transparency log signs
+// its tree heads with it, under a domain-separated prefix).
+func (ca *CA) Signer() crypto.Signer { return ca.key }
+
 // CertPEM returns the CA certificate PEM (what gets provisioned into the
 // controller's trust store).
 func (ca *CA) CertPEM() []byte {

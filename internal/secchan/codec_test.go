@@ -1,0 +1,163 @@
+package secchan
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func newCodecPair(t *testing.T) (*RecordCodec, *RecordCodec) {
+	t.Helper()
+	var sk [16]byte
+	copy(sk[:], "0123456789abcdef")
+	a, err := NewCodec(sk, RoleInitiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCodec(sk, RoleResponder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestCodecSealOpenRoundTrip(t *testing.T) {
+	a, b := newCodecPair(t)
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 1024),
+		make([]byte, MaxRecordSize),
+	}
+	for i, payload := range payloads {
+		frame, err := a.Seal(TypeProvision, payload)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		msgType, got, err := b.Open(frame)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if msgType != TypeProvision || !bytes.Equal(got, payload) {
+			t.Fatalf("case %d: type=%d len=%d", i, msgType, len(got))
+		}
+	}
+}
+
+func TestCodecOversizeRejected(t *testing.T) {
+	a, _ := newCodecPair(t)
+	if _, err := a.Seal(TypeProvision, make([]byte, MaxRecordSize+1)); err != ErrRecordTooLarge {
+		t.Fatalf("oversize seal: %v", err)
+	}
+}
+
+// TestCodecOpenTruncation feeds every strict prefix of a valid frame to
+// Open: each must fail cleanly with ErrAuth and must not advance the
+// receive sequence (a later valid frame still opens).
+func TestCodecOpenTruncation(t *testing.T) {
+	a, b := newCodecPair(t)
+	frame, err := a.Seal(TypeProvision, []byte("credential material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := b.Open(frame[:n]); err != ErrAuth {
+			t.Fatalf("prefix %d/%d: %v", n, len(frame), err)
+		}
+	}
+	// The intact frame must still open: no state was corrupted.
+	if _, got, err := b.Open(frame); err != nil || string(got) != "credential material" {
+		t.Fatalf("after truncation attempts: %v", err)
+	}
+}
+
+// TestCodecOpenMalformed covers structured corruption beyond truncation.
+func TestCodecOpenMalformed(t *testing.T) {
+	mutate := []struct {
+		name string
+		mod  func(frame []byte) []byte
+	}{
+		{"trailing garbage", func(f []byte) []byte { return append(append([]byte(nil), f...), 0xFF) }},
+		{"length too large", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			binary.BigEndian.PutUint32(out[:4], uint32(len(f)-5)+1)
+			return out
+		}},
+		{"length zeroed", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			binary.BigEndian.PutUint32(out[:4], 0)
+			return out
+		}},
+		{"type flipped", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			out[4] ^= 0xFF
+			return out
+		}},
+		{"first ct byte flipped", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			out[5] ^= 0x01
+			return out
+		}},
+		{"last tag byte flipped", func(f []byte) []byte {
+			out := append([]byte(nil), f...)
+			out[len(out)-1] ^= 0x80
+			return out
+		}},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := newCodecPair(t)
+			frame, err := a.Seal(TypeAck, []byte("payload"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := b.Open(tc.mod(frame)); err != ErrAuth {
+				t.Fatalf("corrupted frame accepted: %v", err)
+			}
+		})
+	}
+}
+
+// TestCodecOpenRandomGarbage fuzzes Open with deterministic pseudo-random
+// junk of many lengths: never panic, never accept.
+func TestCodecOpenRandomGarbage(t *testing.T) {
+	_, b := newCodecPair(t)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		junk := make([]byte, rng.Intn(256))
+		rng.Read(junk)
+		if _, _, err := b.Open(junk); err == nil {
+			t.Fatalf("garbage frame %d accepted", i)
+		}
+	}
+}
+
+// TestCodecSequenceBinding checks a frame cannot be replayed or
+// reordered: sequence numbers are baked into the nonce.
+func TestCodecSequenceBinding(t *testing.T) {
+	a, b := newCodecPair(t)
+	f1, err := a.Seal(TypeProvision, []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := a.Seal(TypeProvision, []byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out of order: frame 2 under receive sequence 0 fails.
+	if _, _, err := b.Open(f2); err != ErrAuth {
+		t.Fatalf("reordered frame accepted: %v", err)
+	}
+	if _, _, err := b.Open(f1); err != nil {
+		t.Fatal(err)
+	}
+	// Replay of frame 1 under receive sequence 1 fails.
+	if _, _, err := b.Open(f1); err != ErrAuth {
+		t.Fatalf("replayed frame accepted: %v", err)
+	}
+	if _, _, err := b.Open(f2); err != nil {
+		t.Fatal(err)
+	}
+}

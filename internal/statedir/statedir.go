@@ -156,6 +156,7 @@ const (
 	FileControllerCert = "controller-cert.pem"
 	FileControllerKey  = "controller-key.pem"
 	FileControllerURL  = "controller-url"
+	FileLogURL         = "translog-url"
 )
 
 // HostInfoFile returns the entry name a host agent publishes.

@@ -1,0 +1,39 @@
+package translog
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"fmt"
+)
+
+// ProofSource supplies credential proof bundles: the in-process *Log or
+// the HTTP *Client both qualify, so the controller can sit next to the VM
+// or audit a remote log server with the same hook.
+type ProofSource interface {
+	ProveSerial(serial string) (*ProofBundle, error)
+}
+
+// NewCredentialChecker returns the controller-side gate for trusted-HTTPS
+// mode: given a presented client certificate, it demands a verifiable
+// inclusion proof that the Verification Manager logged the credential's
+// issuance, and rejects certificates the VM never logged — even ones
+// correctly signed by the CA. This closes the "trusted oracle" gap: a
+// compromised VM (or stolen CA key) can still mint certificates, but it
+// cannot use them against the controller without committing evidence to
+// the append-only log.
+func NewCredentialChecker(pub *ecdsa.PublicKey, source ProofSource) func(*x509.Certificate) error {
+	return func(cert *x509.Certificate) error {
+		serial := cert.SerialNumber.String()
+		pb, err := source.ProveSerial(serial)
+		if err != nil {
+			return fmt.Errorf("translog: credential %s: %w", serial, err)
+		}
+		if err := pb.Verify(pub); err != nil {
+			return fmt.Errorf("translog: credential %s: %w", serial, err)
+		}
+		if pb.Entry.Serial != serial || (pb.Entry.Type != EntryEnroll && pb.Entry.Type != EntryProvision) {
+			return fmt.Errorf("%w: proof bundle does not cover serial %s", ErrNotLogged, serial)
+		}
+		return nil
+	}
+}

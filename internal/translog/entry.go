@@ -1,0 +1,168 @@
+// Package translog implements a Certificate-Transparency-style audit log
+// for the Verification Manager: an append-only Merkle tree over canonical-
+// encoded log entries recording every enrollment, attestation verdict,
+// credential provisioning and revocation. Tree heads are signed with the
+// VM's CA key, so any party holding the CA certificate can audit what the
+// trust anchor did — verify that a credential was actually issued by the
+// attestation workflow (inclusion proofs), and that the log never rewrote
+// history (consistency proofs) — without trusting the VM's word.
+//
+// The hashing structure follows RFC 6962: leaves are hashed with a 0x00
+// domain-separation prefix and interior nodes with 0x01, and inclusion
+// and consistency proofs use the Merkle audit paths of §2.1.
+package translog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EntryType enumerates auditable Verification Manager actions.
+type EntryType uint8
+
+// Entry types. Every externally visible trust decision of the VM maps to
+// exactly one of these.
+const (
+	// EntryEnroll records a successful VNF enrollment (steps 3–5).
+	EntryEnroll EntryType = 1
+	// EntryAttestOK records a passed attestation appraisal (host or VNF).
+	EntryAttestOK EntryType = 2
+	// EntryAttestFail records a failed attestation appraisal.
+	EntryAttestFail EntryType = 3
+	// EntryProvision records credential material issued to an enclave,
+	// keyed by the certificate serial the controller will later see.
+	EntryProvision EntryType = 4
+	// EntryRevoke records a credential revocation.
+	EntryRevoke EntryType = 5
+)
+
+// String names the entry type for reports.
+func (t EntryType) String() string {
+	switch t {
+	case EntryEnroll:
+		return "enroll"
+	case EntryAttestOK:
+		return "attest-ok"
+	case EntryAttestFail:
+		return "attest-fail"
+	case EntryProvision:
+		return "provision"
+	case EntryRevoke:
+		return "revoke"
+	default:
+		return fmt.Sprintf("entry(%d)", uint8(t))
+	}
+}
+
+// Errors.
+var (
+	ErrMalformedEntry = errors.New("translog: malformed entry encoding")
+	ErrUnknownType    = errors.New("translog: unknown entry type")
+)
+
+// Entry is one auditable event. Fields not meaningful for a given type are
+// left empty ("" / nil); the canonical encoding covers every field so two
+// distinct events can never collide under the leaf hash.
+type Entry struct {
+	// Type is the event kind.
+	Type EntryType `json:"type"`
+	// Timestamp is the VM's event time in Unix milliseconds.
+	Timestamp int64 `json:"timestamp"`
+	// Actor is the subject of the event: a VNF name for enrollment,
+	// provisioning and revocation, a host name for host attestations.
+	Actor string `json:"actor"`
+	// Host is the container host involved (may equal Actor).
+	Host string `json:"host,omitempty"`
+	// Serial is the credential certificate serial (decimal), set for
+	// enroll, provision and revoke entries — the join key the controller
+	// uses to demand proof that a presented certificate was logged.
+	Serial string `json:"serial,omitempty"`
+	// Measurement is the attested enclave measurement, when applicable.
+	Measurement []byte `json:"measurement,omitempty"`
+	// Detail carries the appraisal verdict or failure findings.
+	Detail string `json:"detail,omitempty"`
+}
+
+// entryVersion tags the canonical encoding so it can evolve.
+const entryVersion = 1
+
+// Marshal produces the canonical, deterministic encoding that is hashed
+// into the tree (and carried on the wire by the log server). Layout:
+// version ‖ type ‖ timestamp(8) ‖ len-prefixed actor, host, serial,
+// measurement, detail.
+func (e Entry) Marshal() []byte {
+	out := make([]byte, 0, 32+len(e.Actor)+len(e.Host)+len(e.Serial)+len(e.Measurement)+len(e.Detail))
+	out = append(out, entryVersion, byte(e.Type))
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(e.Timestamp))
+	out = append(out, u64[:]...)
+	out = appendBytes(out, []byte(e.Actor))
+	out = appendBytes(out, []byte(e.Host))
+	out = appendBytes(out, []byte(e.Serial))
+	out = appendBytes(out, e.Measurement)
+	out = appendBytes(out, []byte(e.Detail))
+	return out
+}
+
+// UnmarshalEntry parses a canonical encoding, rejecting truncated input,
+// trailing bytes and unknown types.
+func UnmarshalEntry(b []byte) (Entry, error) {
+	var e Entry
+	if len(b) < 10 {
+		return e, ErrMalformedEntry
+	}
+	if b[0] != entryVersion {
+		return e, fmt.Errorf("%w: version %d", ErrMalformedEntry, b[0])
+	}
+	e.Type = EntryType(b[1])
+	if e.Type < EntryEnroll || e.Type > EntryRevoke {
+		return e, fmt.Errorf("%w: %d", ErrUnknownType, b[1])
+	}
+	e.Timestamp = int64(binary.BigEndian.Uint64(b[2:10]))
+	b = b[10:]
+	var err error
+	var actor, host, serial, detail []byte
+	if actor, b, err = readBytes(b); err != nil {
+		return e, err
+	}
+	if host, b, err = readBytes(b); err != nil {
+		return e, err
+	}
+	if serial, b, err = readBytes(b); err != nil {
+		return e, err
+	}
+	if e.Measurement, b, err = readBytes(b); err != nil {
+		return e, err
+	}
+	if detail, b, err = readBytes(b); err != nil {
+		return e, err
+	}
+	if len(b) != 0 {
+		return e, fmt.Errorf("%w: %d trailing bytes", ErrMalformedEntry, len(b))
+	}
+	if len(e.Measurement) == 0 {
+		e.Measurement = nil
+	}
+	e.Actor, e.Host, e.Serial, e.Detail = string(actor), string(host), string(serial), string(detail)
+	return e, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
+}
+
+func readBytes(b []byte) (val, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, ErrMalformedEntry
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if uint64(len(b)) < uint64(n) {
+		return nil, nil, ErrMalformedEntry
+	}
+	return append([]byte(nil), b[:n]...), b[n:], nil
+}

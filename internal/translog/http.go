@@ -1,0 +1,310 @@
+package translog
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Log-server REST paths (CT-inspired, JSON bodies).
+const (
+	PathSTH         = "/translog/v1/sth"
+	PathEntries     = "/translog/v1/entries"
+	PathInclusion   = "/translog/v1/inclusion"
+	PathConsistency = "/translog/v1/consistency"
+	PathLookup      = "/translog/v1/lookup"
+	PathAppend      = "/translog/v1/append"
+)
+
+// wireEntry is the JSON transport form: the canonical encoding travels
+// verbatim so clients re-hash exactly the bytes the log committed.
+type wireEntry struct {
+	Canonical []byte `json:"canonical"`
+}
+
+type wireProof struct {
+	Proof []Hash `json:"proof"`
+}
+
+type wireBundle struct {
+	Index uint64         `json:"index"`
+	Entry []byte         `json:"entry"`
+	Proof []Hash         `json:"proof"`
+	STH   SignedTreeHead `json:"sth"`
+}
+
+// MarshalJSON encodes hashes as base64 strings on the wire.
+func (h Hash) MarshalJSON() ([]byte, error) {
+	return json.Marshal(base64.StdEncoding.EncodeToString(h[:]))
+}
+
+// UnmarshalJSON decodes the base64 wire form.
+func (h *Hash) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(raw) != len(h) {
+		return fmt.Errorf("translog: bad hash encoding")
+	}
+	copy(h[:], raw)
+	return nil
+}
+
+// Handler serves the log over HTTP. The append endpoint is meant for the
+// Verification Manager only; deployments bind the server to a loopback or
+// management network (the proofs, not the transport, carry the trust).
+func Handler(l *Log) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSTH, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, l.STH())
+	})
+	mux.HandleFunc("GET "+PathEntries, func(w http.ResponseWriter, r *http.Request) {
+		start, err1 := queryUint(r, "start")
+		count, err2 := queryUint(r, "count")
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad start/count", http.StatusBadRequest)
+			return
+		}
+		entries := l.Entries(start, count)
+		out := make([]wireEntry, len(entries))
+		for i, e := range entries {
+			out[i] = wireEntry{Canonical: e.Marshal()}
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET "+PathInclusion, func(w http.ResponseWriter, r *http.Request) {
+		index, err1 := queryUint(r, "index")
+		size, err2 := queryUint(r, "size")
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad index/size", http.StatusBadRequest)
+			return
+		}
+		proof, err := l.InclusionProof(index, size)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, wireProof{Proof: proof})
+	})
+	mux.HandleFunc("GET "+PathConsistency, func(w http.ResponseWriter, r *http.Request) {
+		first, err1 := queryUint(r, "first")
+		second, err2 := queryUint(r, "second")
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad first/second", http.StatusBadRequest)
+			return
+		}
+		proof, err := l.ConsistencyProof(first, second)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, wireProof{Proof: proof})
+	})
+	mux.HandleFunc("GET "+PathLookup, func(w http.ResponseWriter, r *http.Request) {
+		serial := r.URL.Query().Get("serial")
+		if serial == "" {
+			http.Error(w, "missing serial", http.StatusBadRequest)
+			return
+		}
+		pb, err := l.ProveSerial(serial)
+		if err != nil {
+			// Revoked and never-logged are distinct verdicts for a
+			// relying party; encode the difference in the status code so
+			// clients never have to parse prose.
+			status := http.StatusNotFound
+			if errors.Is(err, ErrLogRevoked) {
+				status = http.StatusGone
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, wireBundle{Index: pb.Index, Entry: pb.Entry.Marshal(), Proof: pb.Proof, STH: pb.STH})
+	})
+	mux.HandleFunc("POST "+PathAppend, func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		var in []wireEntry
+		if err := json.Unmarshal(body, &in); err != nil {
+			http.Error(w, "malformed batch", http.StatusBadRequest)
+			return
+		}
+		batch := make([]Entry, len(in))
+		for i, we := range in {
+			e, err := UnmarshalEntry(we.Canonical)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			batch[i] = e
+		}
+		indices, err := l.AppendBatch(batch)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"indices": indices, "sth": l.STH()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func queryUint(r *http.Request, key string) (uint64, error) {
+	return strconv.ParseUint(r.URL.Query().Get(key), 10, 64)
+}
+
+// Client audits a remote log server. When a public key is supplied, every
+// fetched tree head is signature-checked before use.
+type Client struct {
+	base string
+	pub  *ecdsa.PublicKey
+	http *http.Client
+}
+
+// NewClient builds a log client; pub may be nil to skip STH verification
+// (trusted-channel setups).
+func NewClient(baseURL string, pub *ecdsa.PublicKey) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), pub: pub, http: &http.Client{}}
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("translog client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("translog client: GET %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}
+
+// STH fetches and (when a key is held) verifies the latest tree head.
+func (c *Client) STH() (SignedTreeHead, error) {
+	var sth SignedTreeHead
+	if err := c.get(PathSTH, &sth); err != nil {
+		return sth, err
+	}
+	if c.pub != nil {
+		if err := sth.Verify(c.pub); err != nil {
+			return sth, err
+		}
+	}
+	return sth, nil
+}
+
+// Entries fetches committed entries in [start, start+count).
+func (c *Client) Entries(start, count uint64) ([]Entry, error) {
+	var wire []wireEntry
+	if err := c.get(fmt.Sprintf("%s?start=%d&count=%d", PathEntries, start, count), &wire); err != nil {
+		return nil, err
+	}
+	out := make([]Entry, len(wire))
+	for i, we := range wire {
+		e, err := UnmarshalEntry(we.Canonical)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// InclusionProof fetches the audit path for index at size.
+func (c *Client) InclusionProof(index, size uint64) ([]Hash, error) {
+	var wire wireProof
+	if err := c.get(fmt.Sprintf("%s?index=%d&size=%d", PathInclusion, index, size), &wire); err != nil {
+		return nil, err
+	}
+	return wire.Proof, nil
+}
+
+// ConsistencyProof fetches the proof that size first is a prefix of size
+// second.
+func (c *Client) ConsistencyProof(first, second uint64) ([]Hash, error) {
+	var wire wireProof
+	if err := c.get(fmt.Sprintf("%s?first=%d&second=%d", PathConsistency, first, second), &wire); err != nil {
+		return nil, err
+	}
+	return wire.Proof, nil
+}
+
+// ProveSerial fetches and cryptographically verifies a credential proof
+// bundle (the remote controller-side counterpart of Log.ProveSerial).
+func (c *Client) ProveSerial(serial string) (*ProofBundle, error) {
+	resp, err := c.http.Get(c.base + PathLookup + "?serial=" + url.QueryEscape(serial))
+	if err != nil {
+		return nil, fmt.Errorf("translog client: lookup: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return nil, ErrLogRevoked
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: serial %s", ErrNotLogged, serial)
+	default:
+		return nil, fmt.Errorf("translog client: lookup: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var wire wireBundle
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, err
+	}
+	entry, err := UnmarshalEntry(wire.Entry)
+	if err != nil {
+		return nil, err
+	}
+	pb := &ProofBundle{Index: wire.Index, Entry: entry, Proof: wire.Proof, STH: wire.STH}
+	if c.pub != nil {
+		if err := pb.Verify(c.pub); err != nil {
+			return nil, err
+		}
+	}
+	return pb, nil
+}
+
+// Append submits a batch to the remote log (Verification Manager use).
+func (c *Client) Append(batch []Entry) error {
+	wire := make([]wireEntry, len(batch))
+	for i, e := range batch {
+		wire[i] = wireEntry{Canonical: e.Marshal()}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(c.base+PathAppend, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("translog client: append: %w", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("translog client: append: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+package translog
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	ErrNotLogged  = errors.New("translog: no log entry for credential")
+	ErrBadSTH     = errors.New("translog: tree head signature invalid")
+	ErrLogRevoked = errors.New("translog: credential revoked in log")
+	ErrIndexRange = errors.New("translog: entry index out of range")
+	ErrClosedLog  = errors.New("translog: appender closed")
+)
+
+// SignedTreeHead is the log's signed commitment to its state at one size:
+// whoever holds two of these can demand a consistency proof between them.
+type SignedTreeHead struct {
+	Size      uint64 `json:"size"`
+	RootHash  Hash   `json:"root_hash"`
+	Timestamp int64  `json:"timestamp"` // Unix milliseconds
+	// Signature is an ASN.1 ECDSA signature by the log key (the VM's CA
+	// key) over the canonical tree-head encoding.
+	Signature []byte `json:"signature"`
+}
+
+// sthSigPrefix domain-separates tree-head signatures from every other use
+// of the CA key.
+const sthSigPrefix = "vnfguard-translog-sth-v1"
+
+// signingDigest is the SHA-256 the STH signature covers.
+func (sth SignedTreeHead) signingDigest() [sha256.Size]byte {
+	buf := make([]byte, 0, len(sthSigPrefix)+8+sha256.Size+8)
+	buf = append(buf, sthSigPrefix...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], sth.Size)
+	buf = append(buf, u64[:]...)
+	buf = append(buf, sth.RootHash[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(sth.Timestamp))
+	buf = append(buf, u64[:]...)
+	return sha256.Sum256(buf)
+}
+
+// Verify checks the tree-head signature against the log's public key.
+func (sth SignedTreeHead) Verify(pub *ecdsa.PublicKey) error {
+	digest := sth.signingDigest()
+	if !ecdsa.VerifyASN1(pub, digest[:], sth.Signature) {
+		return ErrBadSTH
+	}
+	return nil
+}
+
+// Log is the append-only transparency log. All mutation is funnelled
+// through commit, which recomputes the root and signs a fresh tree head
+// once per batch — the cost that the batched appender amortises.
+type Log struct {
+	signer crypto.Signer
+
+	mu      sync.RWMutex
+	entries []Entry
+	tree    *tree
+	sth     SignedTreeHead
+	// bySerial indexes entry positions by credential serial for the
+	// controller's O(1) credential lookups.
+	bySerial map[string][]uint64
+	// revoked marks serials with an EntryRevoke in the log.
+	revoked map[string]bool
+}
+
+// NewLog creates a log whose tree heads are signed by signer (the
+// Verification Manager passes its CA key). The empty tree head is signed
+// immediately so monitors can anchor from size zero.
+func NewLog(signer crypto.Signer) (*Log, error) {
+	l := &Log{
+		signer:   signer,
+		tree:     newTree(),
+		bySerial: make(map[string][]uint64),
+		revoked:  make(map[string]bool),
+	}
+	sth, err := l.signHead(0, emptyRoot())
+	if err != nil {
+		return nil, err
+	}
+	l.sth = sth
+	return l, nil
+}
+
+func (l *Log) signHead(size uint64, root Hash) (SignedTreeHead, error) {
+	sth := SignedTreeHead{Size: size, RootHash: root, Timestamp: time.Now().UnixMilli()}
+	digest := sth.signingDigest()
+	sig, err := l.signer.Sign(rand.Reader, digest[:], crypto.SHA256)
+	if err != nil {
+		return SignedTreeHead{}, fmt.Errorf("translog: signing tree head: %w", err)
+	}
+	sth.Signature = sig
+	return sth, nil
+}
+
+// Append commits one entry immediately (one root recomputation and one
+// tree-head signature) and returns its index. Hot paths should prefer an
+// Appender, which batches these costs.
+func (l *Log) Append(e Entry) (uint64, error) {
+	indices, err := l.AppendBatch([]Entry{e})
+	if err != nil {
+		return 0, err
+	}
+	return indices[0], nil
+}
+
+// AppendBatch commits a batch of entries under a single root recomputation
+// and tree-head signature, returning their indices.
+func (l *Log) AppendBatch(batch []Entry) ([]uint64, error) {
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	hashes := make([]Hash, len(batch))
+	for i, e := range batch {
+		hashes[i] = LeafHash(e.Marshal())
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := uint64(len(l.entries))
+	l.entries = append(l.entries, batch...)
+	size := l.tree.append(hashes...)
+	// The commit must be atomic: a failure after the tree grew would
+	// leave entries that a later head signs over but the serial indexes
+	// never saw — so roll the tree and entry list back on any error.
+	rollback := func() {
+		l.entries = l.entries[:first]
+		l.tree.truncate(first)
+	}
+	root, err := l.tree.rootAt(size)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	sth, err := l.signHead(size, root)
+	if err != nil {
+		rollback()
+		return nil, err
+	}
+	l.sth = sth
+	indices := make([]uint64, len(batch))
+	for i, e := range batch {
+		idx := first + uint64(i)
+		indices[i] = idx
+		if e.Serial != "" {
+			l.bySerial[e.Serial] = append(l.bySerial[e.Serial], idx)
+			if e.Type == EntryRevoke {
+				l.revoked[e.Serial] = true
+			}
+		}
+	}
+	return indices, nil
+}
+
+// STH returns the latest signed tree head.
+func (l *Log) STH() SignedTreeHead {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.sth
+}
+
+// Size returns the committed entry count.
+func (l *Log) Size() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return uint64(len(l.entries))
+}
+
+// Entry returns the committed entry at index.
+func (l *Log) Entry(index uint64) (Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if index >= uint64(len(l.entries)) {
+		return Entry{}, ErrIndexRange
+	}
+	return l.entries[index], nil
+}
+
+// Entries returns committed entries in [start, start+count), clamped to
+// the log size.
+func (l *Log) Entries(start, count uint64) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := uint64(len(l.entries))
+	if start >= n || count == 0 {
+		return nil
+	}
+	end := n
+	if count < n-start {
+		end = start + count
+	}
+	return append([]Entry(nil), l.entries[start:end]...)
+}
+
+// InclusionProof returns the audit path for the entry at index in the
+// tree of the given size.
+func (l *Log) InclusionProof(index, size uint64) ([]Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.inclusionProof(index, size)
+}
+
+// ConsistencyProof proves the tree at size first is a prefix of the tree
+// at size second.
+func (l *Log) ConsistencyProof(first, second uint64) ([]Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if first == 0 {
+		return nil, nil
+	}
+	return l.tree.consistencyProof(first, second)
+}
+
+// RootAt recomputes the root at a historical size (used by tests and the
+// example walkthrough; auditors use signed tree heads instead).
+func (l *Log) RootAt(size uint64) (Hash, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.tree.rootAt(size)
+}
+
+// ProofBundle packages everything a relying party needs to check that one
+// entry is committed in the log: the entry, its index, the audit path and
+// the signed tree head the path leads to.
+type ProofBundle struct {
+	Index uint64         `json:"index"`
+	Entry Entry          `json:"entry"`
+	Proof []Hash         `json:"proof"`
+	STH   SignedTreeHead `json:"sth"`
+}
+
+// Verify checks the bundle end to end: tree-head signature, then the
+// inclusion of the entry's leaf under that head.
+func (pb *ProofBundle) Verify(pub *ecdsa.PublicKey) error {
+	if err := pb.STH.Verify(pub); err != nil {
+		return err
+	}
+	return VerifyInclusion(LeafHash(pb.Entry.Marshal()), pb.Index, pb.STH.Size, pb.Proof, pb.STH.RootHash)
+}
+
+// ProveSerial returns a proof bundle for the latest issuance entry
+// (enroll or provision) carrying the given credential serial, against the
+// current tree head. ErrNotLogged when the serial never appears;
+// ErrLogRevoked when the log records its revocation.
+func (l *Log) ProveSerial(serial string) (*ProofBundle, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.revoked[serial] {
+		return nil, ErrLogRevoked
+	}
+	var found *ProofBundle
+	for i := len(l.bySerial[serial]) - 1; i >= 0; i-- {
+		idx := l.bySerial[serial][i]
+		e := l.entries[idx]
+		if e.Type == EntryEnroll || e.Type == EntryProvision {
+			proof, err := l.tree.inclusionProof(idx, l.sth.Size)
+			if err != nil {
+				return nil, err
+			}
+			found = &ProofBundle{Index: idx, Entry: e, Proof: proof, STH: l.sth}
+			break
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("%w: serial %s", ErrNotLogged, serial)
+	}
+	return found, nil
+}
+
+// SerialRevoked reports whether the log holds an EntryRevoke for serial.
+func (l *Log) SerialRevoked(serial string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.revoked[serial]
+}
+
+// Appender buffers entries and commits them to the log in batches, so
+// producers on the hot attestation path pay only a mutex and a slice
+// append — hashing and tree-head signing happen once per batch on a
+// background goroutine.
+type Appender struct {
+	log *Log
+
+	maxBatch int
+	interval time.Duration
+
+	mu      sync.Mutex
+	pending []Entry
+	// committing marks a batch handed to the log but not yet committed;
+	// Flush must wait it out, not only the buffer drain.
+	committing bool
+	closed     bool
+	err        error
+	idle       *sync.Cond // broadcast whenever pending drains
+
+	kick chan struct{}
+	done chan struct{}
+}
+
+// AppenderConfig tunes batching.
+type AppenderConfig struct {
+	// MaxBatch commits as soon as this many entries are buffered
+	// (default 256).
+	MaxBatch int
+	// FlushInterval bounds how long a buffered entry waits for a batch to
+	// fill (default 5ms).
+	FlushInterval time.Duration
+}
+
+// NewAppender starts a batched appender for log.
+func NewAppender(log *Log, cfg AppenderConfig) *Appender {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 5 * time.Millisecond
+	}
+	a := &Appender{
+		log:      log,
+		maxBatch: cfg.MaxBatch,
+		interval: cfg.FlushInterval,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	a.idle = sync.NewCond(&a.mu)
+	go a.loop()
+	return a
+}
+
+// Append buffers one entry for asynchronous commitment. It never blocks
+// on hashing or signing.
+func (a *Appender) Append(e Entry) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosedLog
+	}
+	a.pending = append(a.pending, e)
+	full := len(a.pending) >= a.maxBatch
+	a.mu.Unlock()
+	if full {
+		select {
+		case a.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Flush blocks until every entry buffered before the call is committed,
+// returning the first commit error if any batch failed.
+func (a *Appender) Flush() error {
+	select {
+	case a.kick <- struct{}{}:
+	default:
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for (len(a.pending) > 0 || a.committing) && !a.closed {
+		a.idle.Wait()
+	}
+	return a.err
+}
+
+// Close flushes and stops the background goroutine.
+func (a *Appender) Close() error {
+	err := a.Flush()
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return err
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.done)
+	return err
+}
+
+func (a *Appender) loop() {
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.done:
+			a.commit()
+			return
+		case <-a.kick:
+			a.commit()
+		case <-ticker.C:
+			a.commit()
+		}
+	}
+}
+
+// commit drains the buffer in MaxBatch-bounded chunks, each committed
+// (hashed and tree-head-signed) as one batch.
+func (a *Appender) commit() {
+	for {
+		a.mu.Lock()
+		if len(a.pending) == 0 {
+			a.idle.Broadcast()
+			a.mu.Unlock()
+			return
+		}
+		n := len(a.pending)
+		if n > a.maxBatch {
+			n = a.maxBatch
+		}
+		batch := a.pending[:n:n]
+		a.pending = a.pending[n:]
+		a.committing = true
+		a.mu.Unlock()
+		_, err := a.log.AppendBatch(batch)
+		a.mu.Lock()
+		a.committing = false
+		if err != nil && a.err == nil {
+			a.err = err
+		}
+		a.idle.Broadcast()
+		a.mu.Unlock()
+	}
+}

@@ -1,0 +1,289 @@
+package translog
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math/bits"
+	"sync"
+)
+
+// Hash is a Merkle tree node hash.
+type Hash [sha256.Size]byte
+
+// Domain-separation prefixes (RFC 6962 §2.1): leaves and interior nodes
+// hash under distinct domains so a leaf can never be reinterpreted as a
+// node (second-preimage resistance of the tree structure).
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash hashes one canonical-encoded entry into its leaf.
+func LeafHash(data []byte) Hash {
+	buf := make([]byte, 1+len(data))
+	buf[0] = leafPrefix
+	copy(buf[1:], data)
+	return sha256.Sum256(buf)
+}
+
+func nodeHash(l, r Hash) Hash {
+	var buf [1 + 2*sha256.Size]byte
+	buf[0] = nodePrefix
+	copy(buf[1:], l[:])
+	copy(buf[1+sha256.Size:], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+// emptyRoot is the hash of the empty tree (RFC 6962: SHA-256 of the empty
+// string).
+func emptyRoot() Hash { return sha256.Sum256(nil) }
+
+// largestPowerOfTwoBelow returns the largest power of two strictly less
+// than n (n must be > 1) — the split point k of RFC 6962's recursions.
+func largestPowerOfTwoBelow(n uint64) uint64 {
+	return 1 << (bits.Len64(n-1) - 1)
+}
+
+// tree is an append-only Merkle tree over leaf hashes, stored as one
+// hash array per level: levels[0] holds the leaves and levels[k][i] is
+// the root of the complete subtree over leaves [i·2^k, (i+1)·2^k). Every
+// complete range RFC 6962's recursions visit is aligned, so it resolves
+// to a single array lookup; appends only extend the right spine —
+// O(1) amortised hashing per leaf with no cache invalidation, which is
+// what keeps batched commits cheap as the log grows.
+type tree struct {
+	mu     sync.RWMutex
+	levels [][]Hash
+}
+
+func newTree() *tree {
+	return &tree{levels: [][]Hash{nil}}
+}
+
+// size returns the number of leaves.
+func (t *tree) size() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return uint64(len(t.levels[0]))
+}
+
+// append adds leaf hashes and returns the new size.
+func (t *tree) append(hashes ...Hash) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range hashes {
+		t.levels[0] = append(t.levels[0], h)
+		// Complete freshly-paired subtrees bottom-up along the right
+		// spine.
+		i := uint64(len(t.levels[0]) - 1)
+		for k := 0; i&1 == 1; k++ {
+			if k+1 >= len(t.levels) {
+				t.levels = append(t.levels, nil)
+			}
+			t.levels[k+1] = append(t.levels[k+1], nodeHash(t.levels[k][i-1], t.levels[k][i]))
+			i >>= 1
+		}
+	}
+	return uint64(len(t.levels[0]))
+}
+
+// truncate discards leaves beyond size n — the rollback of a failed
+// commit. Level k always holds exactly n>>k nodes for n leaves, so the
+// inverse of append is a per-level truncation.
+func (t *tree) truncate(n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.levels {
+		if keep := n >> uint(k); uint64(len(t.levels[k])) > keep {
+			t.levels[k] = t.levels[k][:keep]
+		}
+	}
+}
+
+// rootAt computes MTH(D[0:n]) for any historical size n ≤ size.
+func (t *tree) rootAt(n uint64) (Hash, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n > uint64(len(t.levels[0])) {
+		return Hash{}, errors.New("translog: tree size out of range")
+	}
+	if n == 0 {
+		return emptyRoot(), nil
+	}
+	return t.subtree(0, n), nil
+}
+
+// subtree computes MTH(D[lo:hi]) under t.mu. Complete aligned ranges are
+// direct level lookups; only the ragged right edge recurses.
+func (t *tree) subtree(lo, hi uint64) Hash {
+	n := hi - lo
+	if n == 1 {
+		return t.levels[0][lo]
+	}
+	if n&(n-1) == 0 && lo&(n-1) == 0 {
+		return t.levels[bits.TrailingZeros64(n)][lo>>uint(bits.TrailingZeros64(n))]
+	}
+	k := largestPowerOfTwoBelow(n)
+	return nodeHash(t.subtree(lo, lo+k), t.subtree(lo+k, hi))
+}
+
+// inclusionProof returns the RFC 6962 audit path PATH(index, D[size]).
+func (t *tree) inclusionProof(index, size uint64) ([]Hash, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if size > uint64(len(t.levels[0])) {
+		return nil, errors.New("translog: tree size out of range")
+	}
+	if index >= size {
+		return nil, errors.New("translog: leaf index out of range")
+	}
+	return t.path(index, 0, size), nil
+}
+
+// path implements PATH(m, D[lo:hi]) with m relative to lo.
+func (t *tree) path(m, lo, hi uint64) []Hash {
+	n := hi - lo
+	if n == 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m < k {
+		return append(t.path(m, lo, lo+k), t.subtree(lo+k, hi))
+	}
+	return append(t.path(m-k, lo+k, hi), t.subtree(lo, lo+k))
+}
+
+// consistencyProof returns PROOF(first, D[second]) showing D[0:first] is a
+// prefix of D[0:second].
+func (t *tree) consistencyProof(first, second uint64) ([]Hash, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if second > uint64(len(t.levels[0])) {
+		return nil, errors.New("translog: tree size out of range")
+	}
+	if first == 0 || first > second {
+		return nil, errors.New("translog: invalid consistency range")
+	}
+	if first == second {
+		return nil, nil
+	}
+	return t.subproof(first, 0, second, true), nil
+}
+
+// subproof implements SUBPROOF(m, D[lo:hi], b) with m relative to lo.
+func (t *tree) subproof(m, lo, hi uint64, complete bool) []Hash {
+	n := hi - lo
+	if m == n {
+		if complete {
+			return nil
+		}
+		return []Hash{t.subtree(lo, hi)}
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m <= k {
+		return append(t.subproof(m, lo, lo+k, complete), t.subtree(lo+k, hi))
+	}
+	return append(t.subproof(m-k, lo+k, hi, false), t.subtree(lo, lo+k))
+}
+
+// Proof verification is stateless: auditors hold only hashes, sizes and
+// the signed roots.
+
+// ErrProofInvalid reports a proof that does not connect the claimed data
+// to the claimed root.
+var ErrProofInvalid = errors.New("translog: proof does not verify")
+
+// VerifyInclusion checks that leaf (already leaf-hashed) is the entry at
+// index in the tree of the given size with the given root (RFC 9162
+// §2.1.3.2).
+func VerifyInclusion(leaf Hash, index, size uint64, proof []Hash, root Hash) error {
+	if index >= size {
+		return ErrProofInvalid
+	}
+	fn, sn := index, size-1
+	r := leaf
+	for _, p := range proof {
+		if sn == 0 {
+			return ErrProofInvalid
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			if fn&1 == 0 {
+				for fn != 0 && fn&1 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 || r != root {
+		return ErrProofInvalid
+	}
+	return nil
+}
+
+// VerifyConsistency checks that the tree of size first with root1 is a
+// prefix of the tree of size second with root2 (RFC 9162 §2.1.4.2). A
+// failure means the log presented two irreconcilable views — it rewrote
+// or forked history.
+func VerifyConsistency(first, second uint64, root1, root2 Hash, proof []Hash) error {
+	if first > second {
+		return ErrProofInvalid
+	}
+	if first == second {
+		if len(proof) != 0 || root1 != root2 {
+			return ErrProofInvalid
+		}
+		return nil
+	}
+	if first == 0 {
+		// The empty tree is a prefix of everything; nothing to verify
+		// beyond the (signed) roots themselves.
+		if len(proof) != 0 || root1 != emptyRoot() {
+			return ErrProofInvalid
+		}
+		return nil
+	}
+	path := proof
+	if first&(first-1) == 0 {
+		// first is a power of two: its root is a node of the second tree,
+		// so the proof starts from root1 itself.
+		path = append([]Hash{root1}, path...)
+	}
+	if len(path) == 0 {
+		return ErrProofInvalid
+	}
+	fn, sn := first-1, second-1
+	for fn&1 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := path[0], path[0]
+	for _, c := range path[1:] {
+		if sn == 0 {
+			return ErrProofInvalid
+		}
+		if fn&1 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			if fn&1 == 0 {
+				for fn != 0 && fn&1 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 || fr != root1 || sr != root2 {
+		return ErrProofInvalid
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package translog
+
+import (
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+)
+
+// Witness errors: each names the misbehaviour an auditor would report.
+var (
+	// ErrRollback reports a tree head older (smaller) than one already
+	// observed — the log dropped committed entries.
+	ErrRollback = errors.New("translog: tree head rollback")
+	// ErrSplitView reports two irreconcilable tree heads — the log showed
+	// different histories to different parties (or rewrote its own).
+	ErrSplitView = errors.New("translog: split view detected")
+)
+
+// Witness is the monitor-side state of the gossip protocol: it remembers
+// the last verified tree head and refuses to advance to any head that is
+// not a signature-valid, consistency-proven extension of it.
+type Witness struct {
+	pub  *ecdsa.PublicKey
+	last SignedTreeHead
+	seen bool
+}
+
+// NewWitness creates a witness verifying heads against the log public key
+// (the VM CA key).
+func NewWitness(pub *ecdsa.PublicKey) *Witness {
+	return &Witness{pub: pub}
+}
+
+// Last returns the most recently accepted tree head.
+func (w *Witness) Last() (SignedTreeHead, bool) { return w.last, w.seen }
+
+// Advance validates a newly observed tree head. fetchConsistency is
+// called (only when needed) to obtain the proof linking the previous head
+// to the new one — typically Client.ConsistencyProof. On success the
+// witness adopts the new head; on failure its state is unchanged and the
+// error says what the log did wrong.
+func (w *Witness) Advance(sth SignedTreeHead, fetchConsistency func(first, second uint64) ([]Hash, error)) error {
+	if err := sth.Verify(w.pub); err != nil {
+		return err
+	}
+	if !w.seen {
+		w.last, w.seen = sth, true
+		return nil
+	}
+	prev := w.last
+	switch {
+	case sth.Size < prev.Size:
+		return fmt.Errorf("%w: head regressed from %d to %d entries", ErrRollback, prev.Size, sth.Size)
+	case sth.Size == prev.Size:
+		if sth.RootHash != prev.RootHash {
+			return fmt.Errorf("%w: two signed heads at size %d with different roots", ErrSplitView, sth.Size)
+		}
+		w.last = sth
+		return nil
+	default:
+		var proof []Hash
+		if prev.Size > 0 {
+			var err error
+			proof, err = fetchConsistency(prev.Size, sth.Size)
+			if err != nil {
+				return fmt.Errorf("translog: fetching consistency proof: %w", err)
+			}
+		}
+		if err := VerifyConsistency(prev.Size, sth.Size, prev.RootHash, sth.RootHash, proof); err != nil {
+			return fmt.Errorf("%w: head at size %d is not an extension of size %d", ErrSplitView, sth.Size, prev.Size)
+		}
+		w.last = sth
+		return nil
+	}
+}

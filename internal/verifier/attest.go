@@ -48,6 +48,7 @@ func (m *Manager) AttestHost(name string) (*HostAppraisal, error) {
 	appStart := time.Now()
 	app := m.appraiseHostEvidence(rec, nonce, ev)
 	m.trace("host-appraisal", appStart)
+	m.auditAppraisal(app)
 
 	m.mu.Lock()
 	rec.trusted = app.Trusted

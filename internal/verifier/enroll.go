@@ -11,6 +11,7 @@ import (
 	"vnfguard/internal/ra"
 	"vnfguard/internal/secchan"
 	"vnfguard/internal/sgx"
+	"vnfguard/internal/translog"
 )
 
 // EnrollVNF runs steps 3–5 for one VNF: remote attestation of its
@@ -61,8 +62,10 @@ func (m *Manager) EnrollVNF(hostName, vnf string) (*Enrollment, error) {
 		}
 	}
 	if chErr != nil {
+		m.auditVNFAttestation(vnf, hostName, sgx.Measurement{}, chErr)
 		return nil, chErr
 	}
+	m.auditVNFAttestation(vnf, hostName, ch.Quote().Body.MRENCLAVE, nil)
 	m.trace("vnf-attestation", raStart)
 
 	// Step 5: generate credentials and provision over the channel.
@@ -91,6 +94,24 @@ func (m *Manager) EnrollVNF(hostName, vnf string) (*Enrollment, error) {
 	enr.Cert = cert
 	enr.Serial = cert.SerialNumber.String()
 	m.trace("provisioning", provStart)
+
+	// Commit the issuance to the transparency log before releasing the
+	// credential: a controller in trusted mode will demand the inclusion
+	// proof, so the entries must exist before the certificate is usable.
+	// One batch — both entries land under a single tree-head signature.
+	mr := enr.EnclaveMeasurement
+	if err := m.auditSync(
+		translog.Entry{
+			Type: translog.EntryEnroll, Actor: vnf, Host: hostName,
+			Serial: enr.Serial, Measurement: append([]byte(nil), mr[:]...),
+		},
+		translog.Entry{
+			Type: translog.EntryProvision, Actor: vnf, Host: hostName,
+			Serial: enr.Serial, Detail: string(m.provMode),
+		},
+	); err != nil {
+		return nil, fmt.Errorf("verifier: logging enrollment: %w", err)
+	}
 
 	m.mu.Lock()
 	m.enrollments[vnf] = enr
@@ -227,6 +248,14 @@ func (m *Manager) RevokeVNF(vnf string) error {
 		return fmt.Errorf("%w: %q", ErrNotEnrolled, vnf)
 	}
 	m.ca.Revoke(enr.Cert.SerialNumber)
+	// The revocation is committed to the log before the enclave wipe: the
+	// controller's per-request and log-backed checks must see it even when
+	// the (possibly compromised) host never acknowledges.
+	if err := m.auditSync(translog.Entry{
+		Type: translog.EntryRevoke, Actor: vnf, Host: enr.Host, Serial: enr.Serial,
+	}); err != nil {
+		return fmt.Errorf("verifier: logging revocation: %w", err)
+	}
 	if rec != nil {
 		if _, err := m.channelRound(rec, enr, secchan.TypeRevoke, nil, secchan.TypeAck); err != nil {
 			// The certificate is already revoked; wiping is best-effort
@@ -278,7 +307,9 @@ func (m *Manager) AttestVNF(hostName, vnf string) (*sgx.Quote, error) {
 		}
 	}
 	if chErr != nil {
+		m.auditVNFAttestation(vnf, hostName, sgx.Measurement{}, chErr)
 		return nil, chErr
 	}
+	m.auditVNFAttestation(vnf, hostName, ch.Quote().Body.MRENCLAVE, nil)
 	return ch.Quote(), nil
 }

@@ -28,6 +28,7 @@ import (
 	"vnfguard/internal/secchan"
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/tpm"
+	"vnfguard/internal/translog"
 )
 
 // HostConn is the Verification Manager's view of a container host. Both
@@ -97,6 +98,10 @@ type Config struct {
 	// deployments share one CA across the init and run phases). When nil
 	// a fresh CA is created.
 	CA *pki.CA
+	// Log injects a pre-existing transparency log (deployments that run
+	// cmd/log-server in-process share it with the HTTP handler). When nil
+	// a fresh log signed by the CA key is created.
+	Log *translog.Log
 }
 
 // hostRecord tracks one registered host.
@@ -138,6 +143,11 @@ type Manager struct {
 
 	goldenIMA *ima.GoldenDB
 
+	// tlog is the transparency log recording every trust decision;
+	// tlogAppender batches the hot-path attestation entries.
+	tlog         *translog.Log
+	tlogAppender *translog.Appender
+
 	tracer func(phase string, d time.Duration)
 
 	mu          sync.Mutex
@@ -178,12 +188,22 @@ func New(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 	}
+	tlog := cfg.Log
+	if tlog == nil {
+		var err error
+		tlog, err = translog.NewLog(ca.Signer())
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Manager{
 		name:         cfg.Name,
 		key:          key,
 		spid:         cfg.SPID,
 		iasC:         cfg.IAS,
 		ca:           ca,
+		tlog:         tlog,
+		tlogAppender: translog.NewAppender(tlog, translog.AppenderConfig{}),
 		policy:       cfg.Policy,
 		provMode:     cfg.ProvisionMode,
 		certValidity: cfg.CertValidity,
