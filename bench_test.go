@@ -519,6 +519,90 @@ func BenchmarkE11TranslogAppend(b *testing.B) {
 	})
 }
 
+// BenchmarkE13TranslogDurableAppend measures what durability costs the
+// hot audit path: the batched appender over the statedir-backed WAL
+// (every committed batch = record writes + one segment fsync + one
+// atomic tree-head replacement) against the same appender on the
+// in-memory log. Batching amortises the fsync exactly like it amortises
+// the tree-head signature, so the per-entry cost must stay within 5x of
+// the in-memory appender.
+func BenchmarkE13TranslogDurableAppend(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	run := func(b *testing.B, l *translog.Log) {
+		a := translog.NewAppender(l, translog.AppenderConfig{MaxBatch: 256})
+		defer a.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.Append(benchLogEntry(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := a.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if got := l.Size(); got != uint64(b.N) {
+			b.Fatalf("committed %d of %d entries", got, b.N)
+		}
+	}
+	b.Run("in-memory-batched-256", func(b *testing.B) {
+		l, err := translog.NewLog(signer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, l)
+	})
+	b.Run("durable-batched-256", func(b *testing.B) {
+		l, err := translog.OpenDurableLog(signer, b.TempDir(), translog.StoreConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		run(b, l)
+	})
+}
+
+// BenchmarkE13TranslogRecovery measures the restart path: reopening (replay
+// + torn-tail scan + tree rebuild + root-vs-head verification) a durable
+// log of the given size.
+func BenchmarkE13TranslogRecovery(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	for _, population := range []int{1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("entries-%d", population), func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]translog.Entry, population)
+			for i := range batch {
+				batch[i] = benchLogEntry(i)
+			}
+			if _, err := l.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if re.Size() != uint64(population) {
+					b.Fatal("short recovery")
+				}
+				if err := re.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkE12InclusionVerify measures the relying-party read path: an
 // inclusion-proof generation plus full cryptographic verification
 // (tree-head signature + audit path) per credential check, against a log

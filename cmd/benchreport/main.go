@@ -1,5 +1,5 @@
 // Command benchreport regenerates every experiment in EXPERIMENTS.md
-// (E1–E12): it assembles deployments per DESIGN.md §4, runs the
+// (E1–E13): it assembles deployments per DESIGN.md §4, runs the
 // workloads, and prints one table per experiment. Pass -markdown to emit
 // GitHub-flavored tables for pasting into EXPERIMENTS.md.
 //
@@ -59,6 +59,7 @@ func main() {
 		{"E10", "SGX substrate primitives", runE10},
 		{"E11", "Transparency log appends (batched vs unbatched)", runE11},
 		{"E12", "Credential inclusion-proof verification", runE12},
+		{"E13", "Durable log appends and crash recovery", runE13},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -823,5 +824,97 @@ func runE12(runs int) (*metrics.Table, error) {
 		}
 		t.AddRow(fmt.Sprint(population), fmt.Sprintf("%.1f µs", float64(h.Summarize().Mean)/float64(time.Microsecond)), fmt.Sprintf("%d hashes", proofLen))
 	}
+	return t, nil
+}
+
+// runE13 measures what statedir durability costs the audit write path —
+// batched appends over the WAL (records + one fsync + one atomic
+// tree-head replacement per batch) against the in-memory appender — and
+// how long crash recovery (replay + verify against the persisted signed
+// head) takes as the log grows.
+func runE13(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	mkEntry := func(i int) translog.Entry {
+		return translog.Entry{
+			Type: translog.EntryAttestOK, Timestamp: int64(i),
+			Actor: fmt.Sprintf("fw-%d", i), Host: "host-0", Detail: "OK",
+		}
+	}
+	const perRun = 2048
+
+	appendAll := func(l *translog.Log) error {
+		app := translog.NewAppender(l, translog.AppenderConfig{MaxBatch: 256})
+		defer app.Close()
+		for i := 0; i < perRun; i++ {
+			if err := app.Append(mkEntry(i)); err != nil {
+				return err
+			}
+		}
+		return app.Flush()
+	}
+
+	mem, err := translog.NewLog(ca.Signer())
+	if err != nil {
+		return nil, err
+	}
+	hm := metrics.NewHistogram("in-memory")
+	for r := 0; r < runs; r++ {
+		hm.Time(func() {
+			if err := appendAll(mem); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	durDir, err := os.MkdirTemp("", "benchreport-translog-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(durDir)
+	dur, err := translog.OpenDurableLog(ca.Signer(), durDir, translog.StoreConfig{})
+	if err != nil {
+		return nil, err
+	}
+	hd := metrics.NewHistogram("durable")
+	for r := 0; r < runs; r++ {
+		hd.Time(func() {
+			if err := appendAll(dur); err != nil {
+				panic(err)
+			}
+		})
+	}
+	if err := dur.Close(); err != nil {
+		return nil, err
+	}
+
+	hr := metrics.NewHistogram("recovery")
+	var recovered uint64
+	for r := 0; r < runs; r++ {
+		hr.Time(func() {
+			re, err := translog.OpenDurableLog(ca.Signer(), durDir, translog.StoreConfig{})
+			if err != nil {
+				panic(err)
+			}
+			recovered = re.Size()
+			if err := re.Close(); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	perEntry := func(mean time.Duration) string {
+		return fmt.Sprintf("%.2f µs", float64(mean)/float64(perRun)/float64(time.Microsecond))
+	}
+	mMean, dMean := hm.Summarize().Mean, hd.Summarize().Mean
+	t := metrics.NewTable("E13 — durable log appends + recovery (n="+fmt.Sprint(runs)+", "+fmt.Sprint(perRun)+" entries/run)",
+		"variant", "per-entry latency", "vs in-memory")
+	t.AddRow("in-memory appender (256/batch)", perEntry(mMean), "1.0×")
+	t.AddRow("durable WAL appender (256/batch)", perEntry(dMean),
+		fmt.Sprintf("%.1f×", float64(dMean)/float64(mMean)))
+	t.AddRow(fmt.Sprintf("crash recovery (%d entries)", recovered),
+		fmt.Sprintf("%.1f ms total", float64(hr.Summarize().Mean)/float64(time.Millisecond)), "-")
 	return t, nil
 }

@@ -84,7 +84,16 @@ func runServe(dir *statedir.Dir, addr string, wait time.Duration) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	l, err := translog.NewLog(ca.Signer())
+	// The served log is durable: entries and signed tree heads live in a
+	// WAL under the state directory, so a server restart resumes exactly
+	// where it stopped instead of presenting auditors with an empty tree
+	// (which a witness would — correctly — flag as a rollback). If the
+	// on-disk state was rolled back or tampered with, this open refuses
+	// to start; do not delete the store to "fix" it, that is the signal.
+	// No Close on shutdown: the process only exits via log.Fatal, and
+	// every committed batch is already fsynced — recovery picks up from
+	// the durable state exactly as a crash would.
+	l, err := translog.OpenDurableLog(ca.Signer(), dir.Path(statedir.DirServerLog), translog.StoreConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +106,8 @@ func runServe(dir *statedir.Dir, addr string, wait time.Duration) {
 		log.Fatal(err)
 	}
 	sth := l.STH()
-	log.Printf("transparency log serving at %s (tree size %d)", url, sth.Size)
+	log.Printf("transparency log serving at %s (tree size %d, recovered from %s)",
+		url, sth.Size, dir.Path(statedir.DirServerLog))
 	log.Fatal((&http.Server{Handler: translog.Handler(l)}).Serve(ln))
 }
 

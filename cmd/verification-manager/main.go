@@ -174,13 +174,19 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 
 	policy := verifier.DefaultPolicy()
 	policy.RequireTPM = requireTPM
+	// The transparency log lives in the statedir, so the audit history —
+	// and the rollback guarantee recovery enforces over it — survives VM
+	// restarts. A rolled-back or tampered statedir refuses to open here.
 	vm, err := verifier.New(verifier.Config{
 		Name: "verification-manager", Key: vmKey, SPID: sgx.SPID{0x42},
 		IAS: iasClient, Policy: policy, CA: ca,
+		LogDir: dir.Path(statedir.DirVMLog),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	log.Printf("durable transparency log open: %d entries recovered from %s",
+		vm.TransparencyLog().Size(), dir.Path(statedir.DirVMLog))
 	credMR, err := enclaveapp.ExpectedCredentialMeasurement(vendor, vm.PublicKey())
 	if err != nil {
 		log.Fatal(err)
@@ -273,18 +279,33 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 
 	// Mirror the audit trail to the deployment's public log server when
 	// one is running, so auditors and controllers in other processes can
-	// fetch proofs without reaching into the VM.
+	// fetch proofs without reaching into the VM. Both logs are durable
+	// now, so only the suffix the server has not yet seen is sent.
 	if err := vm.FlushLog(); err != nil {
 		log.Printf("flushing transparency log: %v", err)
 	}
 	if logURL, err := dir.ReadString(statedir.FileLogURL); err == nil {
 		l := vm.TransparencyLog()
-		entries := l.Entries(0, l.Size())
-		if err := translog.NewClient(logURL, nil).Append(entries); err != nil {
-			log.Printf("mirroring audit entries to %s: %v", logURL, err)
-		} else {
-			log.Printf("mirrored %d audit entries to log server %s", len(entries), logURL)
+		client := translog.NewClient(logURL, nil)
+		sth, err := client.STH()
+		if err != nil {
+			// Without the server's size the safe suffix is unknown;
+			// falling back to 0 would duplicate the whole history in the
+			// server's durable log. Skip this run and let the next one
+			// mirror the accumulated suffix.
+			log.Printf("log server at %s unreachable (%v) — not mirroring this run", logURL, err)
+		} else if from := sth.Size; from > l.Size() {
+			log.Printf("log server at %s holds %d entries, VM only %d — not mirroring", logURL, from, l.Size())
+		} else if entries := l.Entries(from, l.Size()-from); len(entries) > 0 {
+			if err := client.Append(entries); err != nil {
+				log.Printf("mirroring audit entries to %s: %v", logURL, err)
+			} else {
+				log.Printf("mirrored %d new audit entries (from index %d) to log server %s", len(entries), from, logURL)
+			}
 		}
+	}
+	if err := vm.Close(); err != nil {
+		log.Printf("closing transparency log: %v", err)
 	}
 
 	if url, err := dir.ReadString(statedir.FileControllerURL); err == nil {

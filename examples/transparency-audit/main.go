@@ -3,8 +3,11 @@
 // removes the need to take its word. It enrolls VNFs, then audits every
 // decision from the outside: signed tree heads, inclusion proofs for
 // credentials, consistency proofs across log growth, rejection of a
-// CA-signed-but-unlogged certificate, mid-session revocation, and a
-// witness catching a split-view (forked-history) log.
+// CA-signed-but-unlogged certificate, mid-session revocation, a witness
+// catching a split-view (forked-history) log, and finally a VM
+// kill-and-restart: the log is durable, so proofs issued before the
+// restart still verify against post-restart tree heads — while a
+// rolled-back statedir refuses to open at all.
 //
 //	go run ./examples/transparency-audit
 package main
@@ -14,6 +17,9 @@ import (
 	"crypto/tls"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"vnfguard/internal/controller"
@@ -28,10 +34,19 @@ func main() {
 	fmt.Println("vnfguard transparency audit — verifiable evidence for every trust decision")
 	fmt.Println()
 
+	// The VM's log is durable: WAL segments plus a persisted signed tree
+	// head under this directory, which act 5 reopens after a "crash".
+	logDir, err := os.MkdirTemp("", "vnfguard-translog-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(logDir)
+
 	d, err := core.NewDeployment(core.Options{
 		Mode:    controller.ModeTrustedHTTPS,
 		Trust:   controller.TrustCA,
 		TLSMode: enclaveapp.TLSKeyInEnclave,
+		LogDir:  logDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -139,9 +154,62 @@ func main() {
 	} else {
 		log.Fatal("witness accepted a forked history")
 	}
+	fmt.Println()
+
+	// 5. Kill and restart: the VM dies, then its durable log is reopened
+	//    from the same statedir. Recovery replays the WAL, rebuilds the
+	//    tree, and verifies the recomputed root against the persisted
+	//    signed head — so a restart is provably a continuation, not the
+	//    silent history wipe an in-memory log would suffer (which a
+	//    witness could not tell apart from a rollback attack).
+	preSTH := tlog.STH()
+	check(d.VM.Close()) // the "kill": appender flushed, WAL tail fsynced
+	reopened, err := translog.OpenDurableLog(d.VM.CA().Signer(), logDir, translog.StoreConfig{})
+	check(err)
+	defer reopened.Close()
+	fmt.Printf("VM restarted: %d entries recovered, root verified against persisted signed head\n", reopened.Size())
+
+	// The proof issued before the restart verifies untouched, and the
+	// recovered log re-proves the same credential at the same index.
+	check(pb.Verify(logKey))
+	pb2, err := reopened.ProveSerial(enr.Serial)
+	check(err)
+	check(pb2.Verify(logKey))
+	fmt.Printf("credential %s: pre-restart proof still verifies; re-proven at index %d post-restart ✓\n",
+		enr.Serial, pb2.Index)
+
+	// The witness that watched the pre-crash log accepts the recovered
+	// head and every head after it: the restart is consistency-proven.
+	reopenedFetch := func(first, second uint64) ([]translog.Hash, error) {
+		return reopened.ConsistencyProof(first, second)
+	}
+	check(witness.Advance(reopened.STH(), reopenedFetch))
+	if _, err := reopened.Append(translog.Entry{
+		Type: translog.EntryAttestOK, Timestamp: time.Now().UnixMilli(), Actor: "host-0", Detail: "post-restart appraisal",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	check(witness.Advance(reopened.STH(), reopenedFetch))
+	fmt.Printf("witness followed the restart: head %d → %d consistency-proven across the crash ✓\n",
+		preSTH.Size, reopened.STH().Size)
+
+	// 6. Rollback refusal: restore an "older snapshot" by deleting the
+	//    newest WAL segment. The open recomputes the root, sees fewer
+	//    entries than the persisted signed head covers, and refuses —
+	//    the witness's rollback detection, enforced locally at startup.
+	check(reopened.Close())
+	segs, err := filepath.Glob(filepath.Join(logDir, "seg-*.wal"))
+	check(err)
+	sort.Strings(segs)
+	check(os.Remove(segs[len(segs)-1]))
+	if _, err := translog.OpenDurableLog(d.VM.CA().Signer(), logDir, translog.StoreConfig{}); err != nil {
+		fmt.Printf("rolled-back statedir: open refused ✓ (%v)\n", err)
+	} else {
+		log.Fatal("rolled-back statedir opened cleanly")
+	}
 
 	fmt.Println()
-	fmt.Println("audit complete: every verdict provable, nothing taken on faith")
+	fmt.Println("audit complete: every verdict provable, nothing taken on faith — not even across restarts")
 }
 
 func check(err error) {

@@ -54,6 +54,12 @@ type Options struct {
 	// HTTPTransports runs IAS and host agents over real HTTP sockets
 	// instead of in-process calls.
 	HTTPTransports bool
+	// LogDir persists the VM's transparency log in that directory (see
+	// verifier.Config.LogDir): audit history then survives restarts. A
+	// reopen must present the same CA key — the deployment generates a
+	// fresh CA, so resuming the directory means reopening the log with
+	// translog.OpenDurableLog under the original deployment's CA signer.
+	LogDir string
 }
 
 // Deployment is a fully wired system.
@@ -125,6 +131,7 @@ func NewDeployment(opts Options) (*Deployment, error) {
 		IAS:           iasClient,
 		Policy:        policy,
 		ProvisionMode: opts.Provision,
+		LogDir:        opts.LogDir,
 	})
 	if err != nil {
 		return nil, err

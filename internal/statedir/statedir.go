@@ -32,13 +32,19 @@ func Open(path string) (*Dir, error) {
 // Path returns the absolute location of a named entry.
 func (d *Dir) Path(name string) string { return filepath.Join(d.path, name) }
 
-// Write atomically writes an entry.
+// Write atomically writes an entry: readers see either the old contents
+// or the new, never a partial file, and a failed replacement leaves no
+// stray temp file behind.
 func (d *Dir) Write(name string, data []byte) error {
 	tmp := d.Path(name + ".tmp")
 	if err := os.WriteFile(tmp, data, 0o600); err != nil {
 		return fmt.Errorf("statedir: writing %s: %w", name, err)
 	}
-	return os.Rename(tmp, d.Path(name))
+	if err := os.Rename(tmp, d.Path(name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("statedir: replacing %s: %w", name, err)
+	}
+	return nil
 }
 
 // Read returns an entry's contents.
@@ -157,6 +163,15 @@ const (
 	FileControllerKey  = "controller-key.pem"
 	FileControllerURL  = "controller-url"
 	FileLogURL         = "translog-url"
+)
+
+// Well-known subdirectories: the durable transparency-log stores (WAL
+// segments + persisted tree head) of the Verification Manager and the
+// standalone log server. They are separate stores — two processes must
+// never share one WAL — chained to the same CA key.
+const (
+	DirVMLog     = "translog-vm"
+	DirServerLog = "translog-server"
 )
 
 // HostInfoFile returns the entry name a host agent publishes.

@@ -1,6 +1,7 @@
 package statedir
 
 import (
+	"os"
 	"testing"
 	"time"
 )
@@ -89,5 +90,25 @@ func TestParseKeyPEMErrors(t *testing.T) {
 	}
 	if _, err := ParsePubPEM([]byte("garbage")); err == nil {
 		t.Fatal("garbage pub accepted")
+	}
+}
+
+// TestWriteFailureLeavesNoTempFile forces the rename step to fail (the
+// target is an existing directory) and checks the temp file is cleaned
+// up: the WAL shares this directory, so stray .tmp litter must never
+// accumulate across failed writes.
+func TestWriteFailureLeavesNoTempFile(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(d.Path("taken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("taken", []byte("clobber")); err == nil {
+		t.Fatal("Write over a directory succeeded")
+	}
+	if _, err := os.Stat(d.Path("taken.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after failed Write: %v", err)
 	}
 }

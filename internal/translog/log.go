@@ -64,6 +64,11 @@ func (sth SignedTreeHead) Verify(pub *ecdsa.PublicKey) error {
 type Log struct {
 	signer crypto.Signer
 
+	// store, when non-nil, durably persists every committed batch before
+	// it becomes visible (see OpenDurableLog). NewLog leaves it nil: a
+	// purely in-memory log.
+	store *Store
+
 	mu      sync.RWMutex
 	entries []Entry
 	tree    *tree
@@ -122,8 +127,10 @@ func (l *Log) AppendBatch(batch []Entry) ([]uint64, error) {
 		return nil, nil
 	}
 	hashes := make([]Hash, len(batch))
+	payloads := make([][]byte, len(batch))
 	for i, e := range batch {
-		hashes[i] = LeafHash(e.Marshal())
+		payloads[i] = e.Marshal()
+		hashes[i] = LeafHash(payloads[i])
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -147,6 +154,17 @@ func (l *Log) AppendBatch(batch []Entry) ([]uint64, error) {
 		rollback()
 		return nil, err
 	}
+	if l.store != nil {
+		// Durability before visibility: the batch's records hit disk
+		// (fsynced) and the new head is atomically persisted before any
+		// reader can obtain a proof against it. A failed persist rolls
+		// the in-memory state back and latches the store failed, so the
+		// log never acknowledges an entry the disk may not hold.
+		if err := l.store.appendBatch(payloads, sth); err != nil {
+			rollback()
+			return nil, err
+		}
+	}
 	l.sth = sth
 	indices := make([]uint64, len(batch))
 	for i, e := range batch {
@@ -160,6 +178,20 @@ func (l *Log) AppendBatch(batch []Entry) ([]uint64, error) {
 		}
 	}
 	return indices, nil
+}
+
+// Durable reports whether the log persists its state (OpenDurableLog).
+func (l *Log) Durable() bool { return l.store != nil }
+
+// Close releases the durable store, fsyncing the tail segment. It is a
+// no-op for in-memory logs and is safe to call more than once.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.store == nil {
+		return nil
+	}
+	return l.store.Close()
 }
 
 // STH returns the latest signed tree head.
@@ -287,7 +319,9 @@ func (l *Log) SerialRevoked(serial string) bool {
 // Appender buffers entries and commits them to the log in batches, so
 // producers on the hot attestation path pay only a mutex and a slice
 // append — hashing and tree-head signing happen once per batch on a
-// background goroutine.
+// background goroutine. On a durable log (OpenDurableLog) the same
+// batching amortises the fsyncs: each committed batch is one segment
+// fsync plus one atomic tree-head replacement, regardless of batch size.
 type Appender struct {
 	log *Log
 

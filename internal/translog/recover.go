@@ -1,0 +1,201 @@
+package translog
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Recovery: opening a durable log replays every segment, truncates a torn
+// tail record, rebuilds the Merkle tree and serial index, and verifies
+// the recomputed root against the durably persisted signed tree head.
+// The persisted head is the local anchor of the same guarantee the
+// witness provides remotely — a statedir restored from an old snapshot
+// (rollback) or edited in place (tamper) produces a root that cannot
+// match the head, and the open refuses loudly instead of re-serving the
+// rewritten history.
+
+// recovered is the verified disk state handed from recovery to the Log.
+type recovered struct {
+	entries []Entry
+	// sth is the persisted head when it covered exactly the recovered
+	// size; when the disk holds entries beyond the head (a crash between
+	// the record fsync and the head replacement) sthStale is true and the
+	// caller must sign a fresh head over the full recovered tree.
+	sth      SignedTreeHead
+	sthStale bool
+	// tail describes the segment appends resume into.
+	tailFirst uint64
+	tailClean int64
+	hasTail   bool
+}
+
+// recoverDir replays and verifies the store directory. pub is the log's
+// tree-head verification key (the CA public key).
+func recoverDir(dir string, pub *ecdsa.PublicKey) (*recovered, error) {
+	sth, haveSTH, err := loadSTH(dir)
+	if err != nil {
+		return nil, err
+	}
+	firsts, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !haveSTH {
+		if len(firsts) > 0 {
+			// Segments can only exist after the genesis head was
+			// persisted, so a missing head alongside data is deletion,
+			// not a fresh directory.
+			return nil, fmt.Errorf("%w: %d segment file(s) but no persisted tree head", ErrStateTampered, len(firsts))
+		}
+		return &recovered{sthStale: true}, nil
+	}
+	if err := sth.Verify(pub); err != nil {
+		return nil, fmt.Errorf("%w: persisted tree head signature invalid", ErrStateTampered)
+	}
+
+	rec := &recovered{sth: sth}
+	// tornPath defers the physical truncation of a torn tail until after
+	// the root-vs-head verification: an open that is about to be refused
+	// must not modify the store it refuses — it is incident evidence.
+	var tornPath string
+	var tornAt int64
+	for i, first := range firsts {
+		if first != uint64(len(rec.entries)) {
+			return nil, fmt.Errorf("%w: segment %s starts at %d, want %d",
+				ErrStateCorrupt, segmentName(first), first, len(rec.entries))
+		}
+		path := filepath.Join(dir, segmentName(first))
+		payloads, clean, err := readSegment(path)
+		last := i == len(firsts)-1
+		switch {
+		case err == nil:
+		case errors.Is(err, errTornTail) && last:
+			// A crash mid-append leaves a partial final record; cut it
+			// (after verification) so appends resume on a frame boundary.
+			tornPath, tornAt = path, int64(clean)
+		case errors.Is(err, errTornTail):
+			return nil, fmt.Errorf("%w: segment %s ends mid-record but is not the tail",
+				ErrStateCorrupt, segmentName(first))
+		default:
+			return nil, err
+		}
+		for _, p := range payloads {
+			e, err := UnmarshalEntry(p)
+			if err != nil {
+				return nil, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, len(rec.entries), err)
+			}
+			rec.entries = append(rec.entries, e)
+		}
+		if last {
+			rec.tailFirst, rec.tailClean, rec.hasTail = first, int64(clean), true
+		}
+	}
+
+	size := uint64(len(rec.entries))
+	if size < sth.Size {
+		return nil, fmt.Errorf("%w: %d durable entries but signed tree head covers %d",
+			ErrStateRollback, size, sth.Size)
+	}
+	// Verify the recomputed root at the head's size: entries beyond it
+	// (persisted but not yet headed when the process died) are legitimate,
+	// but the covered prefix must hash to exactly what was signed.
+	//
+	// Threat-model boundary: the beyond-head tail is authenticated only
+	// by its CRC framing, so an attacker with statedir write access could
+	// append well-formed records there and have recovery re-sign them.
+	// That attacker already holds the statedir's CA key in the
+	// multi-process deployment, so no local check can beat them; catching
+	// it needs a root of trust off this disk — the witness today, and the
+	// ROADMAP's tree-head gossip / enclave-sealed head next.
+	t := newTree()
+	for _, e := range rec.entries {
+		t.append(LeafHash(e.Marshal()))
+	}
+	root, err := t.rootAt(sth.Size)
+	if err != nil {
+		return nil, err
+	}
+	if root != sth.RootHash {
+		return nil, fmt.Errorf("%w: recomputed root at size %d does not match persisted tree head",
+			ErrStateTampered, sth.Size)
+	}
+	if tornPath != "" {
+		if err := os.Truncate(tornPath, tornAt); err != nil {
+			return nil, fmt.Errorf("translog: truncating torn tail: %w", err)
+		}
+	}
+	rec.sthStale = size != sth.Size
+	return rec, nil
+}
+
+// OpenDurableLog opens (creating if needed) a write-ahead durable log in
+// dir, signed by signer. It replays and verifies the existing disk state
+// first — see the package recovery notes — and refuses to open a rolled
+// back (ErrStateRollback), rewritten (ErrStateTampered) or damaged
+// (ErrStateCorrupt) store. Every committed batch is durably persisted
+// (records fsynced, latest signed tree head atomically replaced) before
+// AppendBatch returns, so the batched Appender amortises the fsync the
+// same way it amortises the tree-head signature. Close the returned log
+// to release the store.
+func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, error) {
+	pub, ok := signer.Public().(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("translog: signer key type %T unsupported for durable log", signer.Public())
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("translog: creating store dir: %w", err)
+	}
+	rec, err := recoverDir(dir, pub)
+	if err != nil {
+		return nil, err
+	}
+	store, err := openStoreDir(dir, cfg, uint64(len(rec.entries)), rec.tailFirst, rec.tailClean, rec.hasTail)
+	if err != nil {
+		return nil, err
+	}
+
+	l := &Log{
+		signer:   signer,
+		tree:     newTree(),
+		bySerial: make(map[string][]uint64),
+		revoked:  make(map[string]bool),
+	}
+	for i, e := range rec.entries {
+		l.tree.append(LeafHash(e.Marshal()))
+		if e.Serial != "" {
+			l.bySerial[e.Serial] = append(l.bySerial[e.Serial], uint64(i))
+			if e.Type == EntryRevoke {
+				l.revoked[e.Serial] = true
+			}
+		}
+	}
+	l.entries = rec.entries
+	size := uint64(len(rec.entries))
+	if rec.sthStale {
+		// Fresh store, or durable entries past the persisted head: sign
+		// (and persist) a head covering everything recovered.
+		root, err := l.tree.rootAt(size)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		sth, err := l.signHead(size, root)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		if err := store.persistSTH(sth); err != nil {
+			store.Close()
+			return nil, err
+		}
+		l.sth = sth
+	} else {
+		l.sth = rec.sth
+	}
+	l.store = store
+	return l, nil
+}

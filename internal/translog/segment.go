@@ -1,0 +1,134 @@
+package translog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk segment format. A segment is a flat sequence of records, each
+// holding one canonical-encoded log entry:
+//
+//	uint32 length (big endian) ‖ uint32 CRC-32C of payload ‖ payload
+//
+// There is no segment header: the file name carries everything the
+// recovery pass needs. seg-<first>.wal holds the entries starting at
+// tree index <first> (20-digit zero-padded decimal, so lexical order is
+// index order). Records never straddle segments, and every byte of a
+// segment belongs to some record — any flipped bit lands in a length, a
+// checksum or a payload, and each of those is detected on replay.
+
+const (
+	segmentSuffix = ".wal"
+	segmentPrefix = "seg-"
+	// recordHeaderLen is the length + checksum prefix.
+	recordHeaderLen = 8
+	// maxRecordBytes bounds a single entry's canonical encoding: recovery
+	// rejects larger claimed lengths instead of allocating for them.
+	maxRecordBytes = 1 << 20
+	// defaultSegmentMaxBytes caps a segment before rotation.
+	defaultSegmentMaxBytes = 1 << 20
+)
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornTail marks an incomplete final record: a crash mid-write, not
+// corruption. The recovery pass truncates it; every other framing fault
+// is ErrStateCorrupt.
+var errTornTail = errors.New("translog: torn record at segment tail")
+
+// segmentName renders the file name for the segment whose first entry
+// has the given tree index.
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segmentPrefix, first, segmentSuffix)
+}
+
+// parseSegmentName extracts the first-entry index from a segment file
+// name, reporting ok=false for unrelated files.
+func parseSegmentName(name string) (first uint64, ok bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	if len(digits) != 20 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment first-indices present in dir, sorted.
+func listSegments(dir string) ([]uint64, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("translog: reading store dir: %w", err)
+	}
+	var firsts []uint64
+	for _, de := range names {
+		if first, ok := parseSegmentName(de.Name()); ok {
+			firsts = append(firsts, first)
+		}
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	return firsts, nil
+}
+
+// appendRecord frames one payload into dst.
+func appendRecord(dst, payload []byte) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// scanSegment decodes every record in data. clean is the byte offset of
+// the end of the last intact record. A trailing partial record (fewer
+// bytes than its header claims, or a header cut short) yields errTornTail
+// with the intact prefix decoded; an impossible length or a checksum
+// mismatch on a complete record yields ErrStateCorrupt — that is damage,
+// not an interrupted write, and must never be silently dropped.
+func scanSegment(data []byte) (payloads [][]byte, clean int, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < recordHeaderLen {
+			return payloads, off, errTornTail
+		}
+		n := binary.BigEndian.Uint32(data[off : off+4])
+		if n > maxRecordBytes {
+			return payloads, off, fmt.Errorf("%w: record length %d exceeds %d", ErrStateCorrupt, n, maxRecordBytes)
+		}
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		body := data[off+recordHeaderLen:]
+		if uint64(len(body)) < uint64(n) {
+			return payloads, off, errTornTail
+		}
+		payload := body[:n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return payloads, off, fmt.Errorf("%w: record checksum mismatch at offset %d", ErrStateCorrupt, off)
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		off += recordHeaderLen + int(n)
+	}
+	return payloads, off, nil
+}
+
+// readSegment loads and scans one segment file.
+func readSegment(path string) (payloads [][]byte, clean int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("translog: reading segment %s: %w", filepath.Base(path), err)
+	}
+	return scanSegment(data)
+}

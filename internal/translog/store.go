@@ -1,0 +1,292 @@
+package translog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Durable-state errors. Recovery distinguishes the three ways a statedir
+// can disagree with its own signed tree head, because operators react
+// differently to each: corruption wants a restore from backup, rollback
+// and tamper want an incident response — a restart must never quietly
+// re-serve a rewritten history (that would be exactly the attack the
+// witness exists to catch, executed locally).
+var (
+	// ErrStateCorrupt reports a damaged record: a checksum mismatch or an
+	// impossible frame somewhere other than a cleanly torn tail.
+	ErrStateCorrupt = errors.New("translog: on-disk log state corrupt")
+	// ErrStateRollback reports fewer durable entries than the persisted
+	// signed tree head covers — committed history was deleted.
+	ErrStateRollback = errors.New("translog: on-disk log state rolled back")
+	// ErrStateTampered reports durable entries whose recomputed Merkle
+	// root contradicts the persisted signed tree head — history was
+	// rewritten in place.
+	ErrStateTampered = errors.New("translog: on-disk log state tampered")
+)
+
+// sthFileName holds the latest durably persisted signed tree head.
+const sthFileName = "sth.json"
+
+// StoreConfig tunes the durable store.
+type StoreConfig struct {
+	// SegmentMaxBytes rotates to a fresh segment file once the active one
+	// reaches this size (default 1 MiB).
+	SegmentMaxBytes int64
+	// NoSync skips fsync on the append path. Only for tests and
+	// benchmarks that measure the non-durability costs; a production log
+	// without fsync can lose acknowledged entries on power failure.
+	NoSync bool
+}
+
+// Store is the write-ahead, append-only on-disk half of a durable Log:
+// length-prefixed checksummed records in size-capped segment files plus
+// an atomically replaced latest signed tree head. All writes arrive
+// pre-batched from Log.AppendBatch, so one store call — and therefore
+// one fsync of the active segment and one of the tree head — covers a
+// whole appender batch.
+type Store struct {
+	dir string
+	cfg StoreConfig
+
+	mu sync.Mutex
+	// active is the open tail segment (nil until the first append or
+	// when the last recovery ended exactly on a rotation boundary).
+	active     *os.File
+	activeSize int64
+	// size is the number of durably framed entries.
+	size uint64
+	// failed latches the first write error: after a partial batch write
+	// the in-memory log and the disk may disagree, so the store refuses
+	// further appends instead of compounding the divergence.
+	failed error
+}
+
+// openStoreDir creates the store directory and returns a Store positioned
+// at the given recovered size, resuming the segment at tailFirst (whose
+// intact length is tailClean) when one exists.
+func openStoreDir(dir string, cfg StoreConfig, size uint64, tailFirst uint64, tailClean int64, hasTail bool) (*Store, error) {
+	if cfg.SegmentMaxBytes <= 0 {
+		cfg.SegmentMaxBytes = defaultSegmentMaxBytes
+	}
+	s := &Store{dir: dir, cfg: cfg, size: size}
+	if hasTail {
+		path := filepath.Join(dir, segmentName(tailFirst))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			return nil, fmt.Errorf("translog: reopening tail segment: %w", err)
+		}
+		s.active, s.activeSize = f, tailClean
+	}
+	return s, nil
+}
+
+// appendBatch durably frames the batch payloads and then persists sth.
+// Ordering matters for crash consistency: records first (fsynced), tree
+// head second — a crash in between leaves extra durable entries beyond
+// the head, which recovery accepts and re-signs; the reverse order could
+// leave a head signing entries that were never written.
+func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	// Enforce the recovery-side frame bound before anything is written:
+	// an oversized record would commit durably but then fail every future
+	// open with ErrStateCorrupt — a log that bricks itself. Refusing here
+	// keeps the in-memory and on-disk state consistent (the caller rolls
+	// the batch back) without latching the store failed.
+	for _, p := range payloads {
+		if len(p) > maxRecordBytes {
+			return fmt.Errorf("translog: entry encoding %d bytes exceeds record limit %d", len(p), maxRecordBytes)
+		}
+	}
+	if err := s.writeRecords(payloads); err != nil {
+		s.failed = err
+		return err
+	}
+	if err := s.persistSTH(sth); err != nil {
+		s.failed = err
+		return err
+	}
+	s.size += uint64(len(payloads))
+	return nil
+}
+
+// writeRecords appends framed payloads to the active segment, rotating
+// at the size cap. Every touched segment is fsynced before the batch is
+// acknowledged: rotation syncs the segment it retires, and the tail sync
+// below covers the one left active.
+func (s *Store) writeRecords(payloads [][]byte) error {
+	pending := make([]byte, 0, 4096)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if _, err := s.active.Write(pending); err != nil {
+			return fmt.Errorf("translog: writing segment: %w", err)
+		}
+		s.activeSize += int64(len(pending))
+		pending = pending[:0]
+		return nil
+	}
+	next := s.size
+	for _, p := range payloads {
+		if s.active == nil || s.activeSize+int64(len(pending)) >= s.cfg.SegmentMaxBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := s.rotate(next); err != nil {
+				return err
+			}
+		}
+		pending = appendRecord(pending, p)
+		next++
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if !s.cfg.NoSync {
+		if err := s.active.Sync(); err != nil {
+			return fmt.Errorf("translog: fsync segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// rotate closes the active segment and opens a fresh one whose first
+// entry will be index first.
+func (s *Store) rotate(first uint64) error {
+	if s.active != nil {
+		if !s.cfg.NoSync {
+			if err := s.active.Sync(); err != nil {
+				return fmt.Errorf("translog: fsync segment: %w", err)
+			}
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("translog: closing segment: %w", err)
+		}
+		s.active = nil
+	}
+	path := filepath.Join(s.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return fmt.Errorf("translog: creating segment: %w", err)
+	}
+	s.active, s.activeSize = f, 0
+	if !s.cfg.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			s.active = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// persistSTH atomically replaces the durable tree head (tmp + fsync +
+// rename, the same discipline as statedir.Dir.Write plus durability).
+func (s *Store) persistSTH(sth SignedTreeHead) error {
+	data, err := json.Marshal(sth)
+	if err != nil {
+		return fmt.Errorf("translog: encoding tree head: %w", err)
+	}
+	path := filepath.Join(s.dir, sthFileName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("translog: writing tree head: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("translog: writing tree head: %w", err)
+	}
+	if !s.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("translog: fsync tree head: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("translog: closing tree head: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("translog: replacing tree head: %w", err)
+	}
+	if !s.cfg.NoSync {
+		return syncDir(s.dir)
+	}
+	return nil
+}
+
+// loadSTH reads the persisted tree head; ok=false when none exists yet
+// (a store that has never been opened).
+func loadSTH(dir string) (SignedTreeHead, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, sthFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return SignedTreeHead{}, false, nil
+	}
+	if err != nil {
+		return SignedTreeHead{}, false, fmt.Errorf("translog: reading tree head: %w", err)
+	}
+	var sth SignedTreeHead
+	if err := json.Unmarshal(data, &sth); err != nil {
+		return SignedTreeHead{}, false, fmt.Errorf("%w: tree head undecodable: %v", ErrStateCorrupt, err)
+	}
+	return sth, true, nil
+}
+
+// Size returns the durably persisted entry count.
+func (s *Store) Size() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close fsyncs and closes the active segment. A closed store latches
+// failed, so a stray later append errors instead of silently forking a
+// new segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed == nil {
+		s.failed = errors.New("translog: store closed")
+	}
+	if s.active == nil {
+		return nil
+	}
+	f := s.active
+	s.active = nil
+	if !s.cfg.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("translog: fsync segment: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and file creations within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("translog: opening store dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("translog: fsync store dir: %w", err)
+	}
+	return nil
+}

@@ -102,6 +102,15 @@ type Config struct {
 	// cmd/log-server in-process share it with the HTTP handler). When nil
 	// a fresh log signed by the CA key is created.
 	Log *translog.Log
+	// LogDir, when set (and Log is nil), opens a durable transparency log
+	// in that directory — typically a subdirectory of the deployment's
+	// statedir. The open replays, verifies and resumes any previous
+	// state, so audit history survives VM restarts; it fails with the
+	// translog.ErrState* errors if the on-disk log was rolled back,
+	// tampered with or damaged since the last run.
+	LogDir string
+	// LogStore tunes the durable store when LogDir is set.
+	LogStore translog.StoreConfig
 }
 
 // hostRecord tracks one registered host.
@@ -144,8 +153,11 @@ type Manager struct {
 	goldenIMA *ima.GoldenDB
 
 	// tlog is the transparency log recording every trust decision;
-	// tlogAppender batches the hot-path attestation entries.
+	// tlogAppender batches the hot-path attestation entries. tlogOwned
+	// marks a durable log the Manager opened itself (from Config.LogDir)
+	// and must therefore close.
 	tlog         *translog.Log
+	tlogOwned    bool
 	tlogAppender *translog.Appender
 
 	tracer func(phase string, d time.Duration)
@@ -189,9 +201,15 @@ func New(cfg Config) (*Manager, error) {
 		}
 	}
 	tlog := cfg.Log
+	ownsLog := false
 	if tlog == nil {
 		var err error
-		tlog, err = translog.NewLog(ca.Signer())
+		if cfg.LogDir != "" {
+			tlog, err = translog.OpenDurableLog(ca.Signer(), cfg.LogDir, cfg.LogStore)
+			ownsLog = true
+		} else {
+			tlog, err = translog.NewLog(ca.Signer())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -203,6 +221,7 @@ func New(cfg Config) (*Manager, error) {
 		iasC:         cfg.IAS,
 		ca:           ca,
 		tlog:         tlog,
+		tlogOwned:    ownsLog,
 		tlogAppender: translog.NewAppender(tlog, translog.AppenderConfig{}),
 		policy:       cfg.Policy,
 		provMode:     cfg.ProvisionMode,

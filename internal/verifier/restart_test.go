@@ -1,0 +1,181 @@
+package verifier
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vnfguard/internal/ias"
+	"vnfguard/internal/pki"
+	"vnfguard/internal/sgx"
+	"vnfguard/internal/translog"
+)
+
+// TestRestartDurableLog is the end-to-end restart guarantee at the
+// Verification Manager level: enroll + attest + provision on a durable
+// log, shut the VM down, open a fresh Manager over the same statedir —
+// and every pre-restart credential proof still verifies, revocations
+// still refuse, and the controller-side log gate still admits exactly
+// the credentials it admitted before.
+func TestRestartDurableLog(t *testing.T) {
+	logDir := t.TempDir()
+	ca, err := pki.NewCA("restart CA", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First VM lifetime: the full workflow, one credential revoked.
+	d := newDeployment(t, deployOpts{ca: ca, logDir: logDir})
+	d.deployAndLearn(t, "fw-keep")
+	d.deployAndLearn(t, "fw-revoke")
+	if _, err := d.m.AttestHost("host-a"); err != nil {
+		t.Fatal(err)
+	}
+	kept, err := d.m.EnrollVNF("host-a", "fw-keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := d.m.EnrollVNF("host-a", "fw-revoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.m.RevokeVNF("fw-revoke"); err != nil {
+		t.Fatal(err)
+	}
+	preProof, err := d.m.CredentialProof(kept.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.m.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	preSTH := d.m.TransparencyLog().STH()
+	if err := d.m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second lifetime: same CA, same statedir, nothing else carried over
+	// (enrollment state is in-memory and deliberately not reused).
+	m2, err := New(Config{
+		Name: "vm-restarted", SPID: sgx.SPID{9},
+		IAS:    &ias.DirectClient{Service: d.iasSvc, Model: d.model},
+		CA:     ca,
+		LogDir: logDir,
+	})
+	if err != nil {
+		t.Fatalf("reopening VM over durable log: %v", err)
+	}
+	defer m2.Close()
+
+	log2 := m2.TransparencyLog()
+	if !log2.Durable() {
+		t.Fatal("restarted VM log not durable")
+	}
+	if log2.Size() != preSTH.Size {
+		t.Fatalf("recovered %d entries, want %d", log2.Size(), preSTH.Size)
+	}
+
+	// The pre-restart proof bundle verifies as-is (stateless), and the
+	// restarted VM issues a fresh proof for the same serial against its
+	// recovered head.
+	if err := preProof.Verify(caPub(m2)); err != nil {
+		t.Fatalf("pre-restart proof: %v", err)
+	}
+	postProof, err := m2.CredentialProof(kept.Serial)
+	if err != nil {
+		t.Fatalf("pre-restart serial unprovable after restart: %v", err)
+	}
+	if postProof.Index != preProof.Index {
+		t.Fatalf("serial index moved across restart: %d -> %d", preProof.Index, postProof.Index)
+	}
+	if err := postProof.Verify(caPub(m2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Revocation persisted: the proof path refuses and the log flags it.
+	if _, err := m2.CredentialProof(dropped.Serial); !errors.Is(err, translog.ErrLogRevoked) {
+		t.Fatalf("revoked serial after restart: got %v, want ErrLogRevoked", err)
+	}
+	if !log2.SerialRevoked(dropped.Serial) {
+		t.Fatal("revocation lost across restart")
+	}
+
+	// The controller's log gate behaves identically to before the
+	// restart: logged credential admitted, revoked one refused.
+	check := m2.CredentialChecker()
+	if err := check(kept.Cert); err != nil {
+		t.Fatalf("logged credential rejected after restart: %v", err)
+	}
+	if err := check(dropped.Cert); err == nil {
+		t.Fatal("revoked credential admitted after restart")
+	}
+
+	// New appends chain onto the recovered history: the pre-restart head
+	// is consistency-proven into the post-restart one.
+	if _, err := log2.Append(translog.Entry{Type: translog.EntryAttestOK, Actor: "host-a", Detail: "post-restart"}); err != nil {
+		t.Fatal(err)
+	}
+	postSTH := log2.STH()
+	proof, err := log2.ConsistencyProof(preSTH.Size, postSTH.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := translog.VerifyConsistency(preSTH.Size, postSTH.Size, preSTH.RootHash, postSTH.RootHash, proof); err != nil {
+		t.Fatalf("post-restart history not an extension of pre-restart history: %v", err)
+	}
+}
+
+// TestRestartRefusesRolledBackStatedir is the flip side: if the statedir
+// was rolled back between runs (here: the whole store emptied but the
+// head kept — the minimal rollback), the VM must refuse to start rather
+// than silently re-serve truncated history.
+func TestRestartRefusesRolledBackStatedir(t *testing.T) {
+	logDir := t.TempDir()
+	ca, err := pki.NewCA("rollback CA", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDeployment(t, deployOpts{ca: ca, logDir: logDir})
+	d.deployAndLearn(t, "fw-1")
+	if _, err := d.m.AttestHost("host-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.m.EnrollVNF("host-a", "fw-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rollBackStore(t, logDir)
+
+	_, err = New(Config{
+		Name: "vm-restarted", SPID: sgx.SPID{9},
+		IAS:    &ias.DirectClient{Service: d.iasSvc, Model: d.model},
+		CA:     ca,
+		LogDir: logDir,
+	})
+	if !errors.Is(err, translog.ErrStateRollback) {
+		t.Fatalf("rolled-back statedir: got %v, want translog.ErrStateRollback", err)
+	}
+}
+
+// rollBackStore deletes the WAL segments while keeping the persisted
+// tree head — the on-disk shape of a restored-from-snapshot attack.
+func rollBackStore(t *testing.T, dir string) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatal("no WAL segments to roll back")
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -42,8 +42,18 @@ func (m *Manager) CredentialChecker() func(cert *x509.Certificate) error {
 // and orderly shutdown).
 func (m *Manager) FlushLog() error { return m.tlogAppender.Flush() }
 
-// Close releases the Manager's background resources (the log appender).
-func (m *Manager) Close() error { return m.tlogAppender.Close() }
+// Close releases the Manager's background resources: the appender is
+// flushed and stopped, and a durable log the Manager opened itself (via
+// Config.LogDir) is closed with its tail segment fsynced.
+func (m *Manager) Close() error {
+	err := m.tlogAppender.Close()
+	if m.tlogOwned {
+		if cerr := m.tlog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // auditSync commits entries immediately, as one batch under a single
 // tree-head signature.

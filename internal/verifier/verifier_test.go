@@ -14,6 +14,7 @@ import (
 	"vnfguard/internal/host"
 	"vnfguard/internal/ias"
 	"vnfguard/internal/ima"
+	"vnfguard/internal/pki"
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/simtime"
 )
@@ -34,6 +35,10 @@ type deployOpts struct {
 	requireTPM      bool
 	provMode        enclaveapp.ProvisionMode
 	attestationCode string
+	// ca and logDir let restart tests share a CA and a durable
+	// transparency log across two Manager lifetimes.
+	ca     *pki.CA
+	logDir string
 }
 
 func newDeployment(t *testing.T, opts deployOpts) *deployment {
@@ -62,6 +67,8 @@ func newDeployment(t *testing.T, opts deployOpts) *deployment {
 		IAS:           &ias.DirectClient{Service: iasSvc, Model: model},
 		Policy:        policy,
 		ProvisionMode: opts.provMode,
+		CA:            opts.ca,
+		LogDir:        opts.logDir,
 	})
 	if err != nil {
 		t.Fatal(err)
