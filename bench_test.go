@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"testing"
 	"time"
 
@@ -635,6 +636,74 @@ func BenchmarkE12InclusionVerify(b *testing.B) {
 		if err := pb.Verify(pub); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE14GossipExchange measures the witness gossip protocol: the
+// per-head signature verification that bounds how a witness scales with
+// peers, and a full exchange round — served-head poll plus a head swap
+// (HTTP POST, merge, response verify) with each peer — at growing peer
+// counts. All witnesses share one honest log, so every round is the
+// steady-state no-conflict path.
+func BenchmarkE14GossipExchange(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	pub := d.VM.CA().Certificate().PublicKey.(*ecdsa.PublicKey)
+	l, err := translog.NewLog(signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]translog.Entry, 1024)
+	for i := range batch {
+		batch[i] = benchLogEntry(i)
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	logLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer logLn.Close()
+	go http.Serve(logLn, translog.Handler(l))
+	logURL := "http://" + logLn.Addr().String()
+
+	b.Run("head-verify", func(b *testing.B) {
+		sth := l.STH()
+		for i := 0; i < b.N; i++ {
+			if err := sth.Verify(pub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, peers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("exchange-%dpeers", peers), func(b *testing.B) {
+			pool := translog.NewGossipPool("bench", translog.NewWitness(pub), translog.NewClient(logURL, pub))
+			for i := 0; i < peers; i++ {
+				peer := translog.NewGossipPool(fmt.Sprintf("peer-%d", i),
+					translog.NewWitness(pub), translog.NewClient(logURL, pub))
+				if err := peer.Exchange(); err != nil {
+					b.Fatal(err)
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ln.Close()
+				go http.Serve(ln, translog.GossipHandler(peer))
+				pool.AddPeer(translog.NewClient("http://"+ln.Addr().String(), pub))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pool.Exchange(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if pool.Conflict() != nil {
+				b.Fatalf("honest gossip convicted: %v", pool.Conflict())
+			}
+		})
 	}
 }
 

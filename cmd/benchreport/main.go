@@ -1,5 +1,5 @@
 // Command benchreport regenerates every experiment in EXPERIMENTS.md
-// (E1–E13): it assembles deployments per DESIGN.md §4, runs the
+// (E1–E14): it assembles deployments per DESIGN.md §4, runs the
 // workloads, and prints one table per experiment. Pass -markdown to emit
 // GitHub-flavored tables for pasting into EXPERIMENTS.md.
 //
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -60,6 +61,7 @@ func main() {
 		{"E11", "Transparency log appends (batched vs unbatched)", runE11},
 		{"E12", "Credential inclusion-proof verification", runE12},
 		{"E13", "Durable log appends and crash recovery", runE13},
+		{"E14", "Witness gossip exchange and head verification", runE14},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -916,5 +918,90 @@ func runE13(runs int) (*metrics.Table, error) {
 		fmt.Sprintf("%.1f×", float64(dMean)/float64(mMean)))
 	t.AddRow(fmt.Sprintf("crash recovery (%d entries)", recovered),
 		fmt.Sprintf("%.1f ms total", float64(hr.Summarize().Mean)/float64(time.Millisecond)), "-")
+	return t, nil
+}
+
+// runE14 measures the witness gossip protocol: the ECDSA verification
+// every received head costs, and a full exchange round — served-head
+// poll plus an HTTP head swap with each peer — at growing peer counts.
+// The per-peer column is the marginal cost of widening the witness set.
+func runE14(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	pub := ca.Certificate().PublicKey.(*ecdsa.PublicKey)
+	l, err := translog.NewLog(ca.Signer())
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]translog.Entry, 1024)
+	for i := range batch {
+		batch[i] = translog.Entry{
+			Type: translog.EntryAttestOK, Timestamp: int64(i),
+			Actor: fmt.Sprintf("fw-%d", i), Host: "host-0", Detail: "OK",
+		}
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		return nil, err
+	}
+	logLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer logLn.Close()
+	go http.Serve(logLn, translog.Handler(l))
+	logURL := "http://" + logLn.Addr().String()
+
+	t := metrics.NewTable("E14 — witness gossip exchange (n="+fmt.Sprint(runs)+")",
+		"operation", "latency", "per peer")
+	hv := metrics.NewHistogram("head-verify")
+	sth := l.STH()
+	for i := 0; i < runs*64; i++ {
+		hv.Time(func() {
+			if err := sth.Verify(pub); err != nil {
+				panic(err)
+			}
+		})
+	}
+	t.AddRow("signed-head verification",
+		fmt.Sprintf("%.1f µs", float64(hv.Summarize().Mean)/float64(time.Microsecond)), "-")
+
+	for _, peers := range []int{1, 4, 8} {
+		pool := translog.NewGossipPool("bench", translog.NewWitness(pub), translog.NewClient(logURL, pub))
+		closers := make([]net.Listener, 0, peers)
+		for i := 0; i < peers; i++ {
+			peerPool := translog.NewGossipPool(fmt.Sprintf("peer-%d", i),
+				translog.NewWitness(pub), translog.NewClient(logURL, pub))
+			if err := peerPool.Exchange(); err != nil {
+				return nil, err
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			closers = append(closers, ln)
+			go http.Serve(ln, translog.GossipHandler(peerPool))
+			pool.AddPeer(translog.NewClient("http://"+ln.Addr().String(), pub))
+		}
+		h := metrics.NewHistogram("exchange")
+		for r := 0; r < runs*8; r++ {
+			h.Time(func() {
+				if err := pool.Exchange(); err != nil {
+					panic(err)
+				}
+			})
+		}
+		for _, ln := range closers {
+			ln.Close()
+		}
+		if pool.Conflict() != nil {
+			return nil, fmt.Errorf("honest gossip convicted: %v", pool.Conflict())
+		}
+		mean := h.Summarize().Mean
+		t.AddRow(fmt.Sprintf("exchange round (%d peers)", peers),
+			fmt.Sprintf("%.2f ms", float64(mean)/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f µs", float64(mean)/float64(peers)/float64(time.Microsecond)))
+	}
 	return t, nil
 }

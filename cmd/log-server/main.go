@@ -13,19 +13,31 @@
 // entries, inclusion proofs and consistency proofs from the read
 // endpoints. The server publishes its URL into the state directory.
 //
-// Monitor mode is the other side of the audit: it polls the log's signed
-// tree heads and verifies that every new head is a consistency-proven
-// extension of the last one, detecting split views and rollbacks:
+// Monitor mode is the other side of the audit: a gossiping witness. It
+// polls the log's signed tree heads, verifies that every new head is a
+// consistency-proven extension of the last one, persists its
+// last-accepted head in the state directory (a witness restart is not
+// amnesia), and exchanges heads with peer witnesses over the gossip
+// endpoints — so a local rollback of the log's statedir (WAL segments
+// and persisted head rewound together, which the log's own recovery
+// cannot see) is convicted by whoever remembers the newer head:
 //
-//	log-server -monitor -state-dir ./state -interval 2s
+//	log-server -monitor -state-dir ./state -name w0 -interval 2s
+//	log-server -monitor -state-dir ./state -name w1 -peers http://127.0.0.1:9001
+//
+// Without -peers, witnesses discover each other through the gossip URLs
+// they publish into the shared state directory.
 package main
 
 import (
 	"crypto/ecdsa"
+	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"vnfguard/internal/pki"
@@ -38,7 +50,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address (serve mode)")
 	monitor := flag.Bool("monitor", false, "audit a running log server instead of serving")
 	logURL := flag.String("url", "", "log server URL (monitor mode; default: read from state dir)")
-	interval := flag.Duration("interval", 2*time.Second, "poll interval (monitor mode)")
+	interval := flag.Duration("interval", 2*time.Second, "poll/gossip exchange interval, jittered ±20% (monitor mode)")
+	name := flag.String("name", "witness", "witness name (monitor mode): keys the persisted head and published gossip URL")
+	gossipAddr := flag.String("gossip-addr", "127.0.0.1:0", "gossip listen address (monitor mode)")
+	peers := flag.String("peers", "", "comma-separated peer witness gossip URLs (monitor mode; default: discover via state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	flag.Parse()
 
@@ -47,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *monitor {
-		runMonitor(dir, *logURL, *interval, *wait)
+		runMonitor(dir, *logURL, *name, *gossipAddr, *peers, *interval, *wait)
 		return
 	}
 	runServe(dir, *addr, *wait)
@@ -111,7 +126,7 @@ func runServe(dir *statedir.Dir, addr string, wait time.Duration) {
 	log.Fatal((&http.Server{Handler: translog.Handler(l)}).Serve(ln))
 }
 
-func runMonitor(dir *statedir.Dir, url string, interval, wait time.Duration) {
+func runMonitor(dir *statedir.Dir, url, name, gossipAddr, peersFlag string, interval, wait time.Duration) {
 	if url == "" {
 		raw, err := dir.WaitFor(statedir.FileLogURL, wait)
 		if err != nil {
@@ -121,22 +136,114 @@ func runMonitor(dir *statedir.Dir, url string, interval, wait time.Duration) {
 	}
 	pub := caPublicKey(dir, wait)
 	client := translog.NewClient(url, pub)
-	witness := translog.NewWitness(pub)
-	log.Printf("monitoring %s (poll every %s)", url, interval)
-	for {
-		sth, err := client.STH()
-		if err != nil {
-			log.Printf("fetch: %v", err)
-			time.Sleep(interval)
-			continue
-		}
-		if err := witness.Advance(sth, client.ConsistencyProof); err != nil {
-			// A consistency failure is the monitor's reason to exist:
-			// report loudly and exit non-zero so operators page on it.
-			log.Fatalf("AUDIT FAILURE: %v", err)
-		}
-		last, _ := witness.Last()
-		log.Printf("tree head ok: size=%d root=%x…", last.Size, last.RootHash[:8])
-		time.Sleep(interval)
+	// The witness's last-accepted head lives in the state directory: a
+	// restart resumes from remembered history instead of re-anchoring at
+	// whatever the log serves next — the amnesia a rollback attack needs.
+	witness, err := translog.OpenWitnessState(dir, name, pub)
+	if err != nil {
+		log.Fatalf("restoring witness state: %v", err)
 	}
+	if last, seen := witness.Last(); seen {
+		log.Printf("witness %q restored persisted head: size=%d root=%x…", name, last.Size, last.RootHash[:8])
+	}
+	pool := translog.NewGossipPool(name, witness, client)
+
+	// Serve our side of the gossip protocol and publish where to find it.
+	ln, err := net.Listen("tcp", gossipAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gossipURL := "http://" + ln.Addr().String()
+	if err := dir.Write(statedir.WitnessURLFile(name), []byte(gossipURL)); err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		log.Fatal((&http.Server{Handler: translog.GossipHandler(pool)}).Serve(ln))
+	}()
+
+	// Peer set: explicit -peers, or the gossip URLs other witnesses have
+	// published into the state directory. Discovery re-runs every round
+	// and rebuilds the set wholesale, so a peer that restarted onto a new
+	// port replaces its dead URL instead of haunting every exchange.
+	current := map[string]bool{}
+	refreshPeers := func() int {
+		var urls []string
+		if peersFlag != "" {
+			urls = strings.Split(peersFlag, ",")
+		} else {
+			names, err := dir.Match(statedir.WitnessURLPattern)
+			if err != nil {
+				log.Printf("discovering peers: %v", err)
+				return len(current)
+			}
+			for _, entry := range names {
+				if u, err := dir.ReadString(entry); err == nil {
+					urls = append(urls, u)
+				}
+			}
+		}
+		next := map[string]bool{}
+		clients := make([]*translog.Client, 0, len(urls))
+		for _, u := range urls {
+			u = strings.TrimSpace(u)
+			if u == "" || u == gossipURL || next[u] { // never gossip with ourselves
+				continue
+			}
+			next[u] = true
+			clients = append(clients, translog.NewClient(u, pub))
+			if !current[u] {
+				log.Printf("gossiping with peer witness at %s", u)
+			}
+		}
+		for u := range current {
+			if !next[u] {
+				log.Printf("dropping departed peer witness at %s", u)
+			}
+		}
+		current = next
+		pool.SetPeers(clients)
+		return len(clients)
+	}
+	peerCount := refreshPeers()
+
+	log.Printf("witness %q monitoring %s (gossip at %s, %d peer(s), exchange every %s jittered)",
+		name, url, gossipURL, peerCount, interval)
+	stop := make(chan struct{}) // the process only exits via log.Fatal
+	pool.Loop(interval, stop, func(err error) {
+		// A conviction — from our own poll, a corroborated peer claim, or
+		// a head a peer pushed at our endpoint — is the witness's reason
+		// to exist: report loudly with the evidence and exit non-zero so
+		// operators page on it.
+		if ce := pool.Conflict(); ce != nil {
+			fatalConflict(name, ce)
+		}
+		var ce *translog.ConflictError
+		if errors.As(err, &ce) {
+			fatalConflict(name, ce)
+		}
+		// The heartbeat always prints the held head, so a flaky peer
+		// cannot silence the liveness signal operators watch for.
+		last, seen := witness.Last()
+		switch {
+		case err != nil && seen:
+			log.Printf("tree head held: size=%d root=%x… peers=%d (exchange degraded: %v)",
+				last.Size, last.RootHash[:8], peerCount, err)
+		case err != nil:
+			log.Printf("exchange degraded (no head anchored yet): %v", err)
+		default:
+			log.Printf("tree head ok: size=%d root=%x… peers=%d", last.Size, last.RootHash[:8], peerCount)
+		}
+		peerCount = refreshPeers()
+	})
+}
+
+// fatalConflict reports a conviction with its self-certifying evidence:
+// the two log-signed heads no append-only history can contain.
+func fatalConflict(name string, ce *translog.ConflictError) {
+	evidence, err := json.MarshalIndent(ce, "", "  ")
+	if err != nil {
+		evidence = []byte(ce.Error())
+	}
+	log.Printf("evidence (two irreconcilable signed heads):\n%s", evidence)
+	log.Fatalf("AUDIT FAILURE (witness %q): %v", name, ce)
 }

@@ -23,6 +23,7 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -287,6 +288,12 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 	if logURL, err := dir.ReadString(statedir.FileLogURL); err == nil {
 		l := vm.TransparencyLog()
 		client := translog.NewClient(logURL, nil)
+		// fresh, when set, is the server's signed head covering everything
+		// mirrored: the head worth pushing to the witness set. It must be
+		// the *server's* head — the VM's own log is signed by the same CA
+		// key, so publishing a VM head the server has not caught up to yet
+		// would read as a server rollback to the witnesses.
+		var fresh *translog.SignedTreeHead
 		sth, err := client.STH()
 		if err != nil {
 			// Without the server's size the safe suffix is unknown;
@@ -297,11 +304,25 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 		} else if from := sth.Size; from > l.Size() {
 			log.Printf("log server at %s holds %d entries, VM only %d — not mirroring", logURL, from, l.Size())
 		} else if entries := l.Entries(from, l.Size()-from); len(entries) > 0 {
-			if err := client.Append(entries); err != nil {
+			newSTH, err := client.AppendSTH(entries)
+			switch {
+			case errors.Is(err, translog.ErrAppendRejected):
+				// 400: resending this suffix can never succeed — say so
+				// instead of retrying it into the same wall forever.
+				log.Printf("log server rejected mirrored entries as invalid (not retryable): %v", err)
+			case errors.Is(err, translog.ErrLogUnavailable):
+				log.Printf("log server store unavailable — will mirror the suffix next run: %v", err)
+			case err != nil:
 				log.Printf("mirroring audit entries to %s: %v", logURL, err)
-			} else {
+			default:
 				log.Printf("mirrored %d new audit entries (from index %d) to log server %s", len(entries), from, logURL)
+				fresh = &newSTH
 			}
+		} else {
+			fresh = &sth
+		}
+		if fresh != nil {
+			publishHeadToWitnesses(dir, ca.Certificate().PublicKey.(*ecdsa.PublicKey), *fresh)
 		}
 	}
 	if err := vm.Close(); err != nil {
@@ -312,6 +333,38 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 		log.Printf("controller at %s trusts the CA; enrolled VNFs can now push flows (step 6)", url)
 	}
 	log.Print("workflow complete")
+}
+
+// publishHeadToWitnesses pushes a fresh signed tree head to every
+// gossiping witness that published its URL into the state directory, so
+// the witness set anchors on the newest committed history immediately —
+// not at its next poll. A witness that answers with a conviction (two
+// irreconcilable signed heads) is surfaced loudly: that is the rollback
+// alarm the gossip network exists to raise.
+func publishHeadToWitnesses(dir *statedir.Dir, pub *ecdsa.PublicKey, head translog.SignedTreeHead) {
+	entries, err := dir.Match(statedir.WitnessURLPattern)
+	if err != nil || len(entries) == 0 {
+		return
+	}
+	for _, entry := range entries {
+		url, err := dir.ReadString(entry)
+		if err != nil {
+			continue
+		}
+		peerHead, seen, err := translog.NewClient(url, pub).ExchangeGossip("verification-manager", head, true)
+		var ce *translog.ConflictError
+		switch {
+		case errors.As(err, &ce):
+			evidence, _ := json.MarshalIndent(ce, "", "  ")
+			log.Printf("AUDIT FAILURE reported by witness at %s: %v\nevidence:\n%s", url, ce, evidence)
+		case err != nil:
+			log.Printf("publishing head to witness at %s: %v", url, err)
+		case seen:
+			log.Printf("published head (size %d) to witness at %s (witness holds size %d)", head.Size, url, peerHead.Size)
+		default:
+			log.Printf("published head (size %d) to witness at %s", head.Size, url)
+		}
+	}
 }
 
 func parseMeasurement(hexStr string) (sgx.Measurement, error) {

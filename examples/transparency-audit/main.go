@@ -4,28 +4,38 @@
 // decision from the outside: signed tree heads, inclusion proofs for
 // credentials, consistency proofs across log growth, rejection of a
 // CA-signed-but-unlogged certificate, mid-session revocation, a witness
-// catching a split-view (forked-history) log, and finally a VM
-// kill-and-restart: the log is durable, so proofs issued before the
-// restart still verify against post-restart tree heads — while a
-// rolled-back statedir refuses to open at all.
+// catching a split-view (forked-history) log, a VM kill-and-restart: the
+// log is durable, so proofs issued before the restart still verify
+// against post-restart tree heads — while a rolled-back statedir refuses
+// to open at all. The finale is the attack local durability cannot see:
+// a *consistent* rollback (WAL segments and persisted signed head
+// rewound together) that reopens cleanly, goes unnoticed by a lone
+// amnesiac witness, and is convicted by a gossiping witness set holding
+// the two irreconcilable signed heads as evidence.
 //
 //	go run ./examples/transparency-audit
 package main
 
 import (
+	"crypto"
 	"crypto/ecdsa"
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"vnfguard/internal/controller"
 	"vnfguard/internal/core"
 	"vnfguard/internal/enclaveapp"
 	"vnfguard/internal/pki"
+	"vnfguard/internal/statedir"
 	"vnfguard/internal/translog"
 	"vnfguard/internal/vnf"
 )
@@ -208,8 +218,212 @@ func main() {
 		log.Fatal("rolled-back statedir opened cleanly")
 	}
 
+	// 7. The attack act 6 cannot catch: rewind segments *and* the signed
+	//    head together to an earlier committed state. The statedir is
+	//    self-consistent, so the open succeeds — locally nothing is
+	//    wrong. Only witnesses that remember (or gossip) the newer
+	//    signed head can convict, which is why they persist their heads
+	//    and form a gossip network.
+	fmt.Println()
+	fmt.Println("--- multi-witness gossip: catching a consistent local rollback ---")
+	runGossipAct(d.VM.CA().Signer(), logKey)
+
 	fmt.Println()
 	fmt.Println("audit complete: every verdict provable, nothing taken on faith — not even across restarts")
+}
+
+// servedLog lets the "restarted" (rolled-back) log come back at the same
+// address, exactly as a rebooted log server would.
+type servedLog struct {
+	mu  sync.Mutex
+	log *translog.Log
+}
+
+func (s *servedLog) swap(l *translog.Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = l
+}
+
+func (s *servedLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	l := s.log
+	s.mu.Unlock()
+	translog.Handler(l).ServeHTTP(w, r)
+}
+
+func runGossipAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
+	// The VM's durable log, in its own statedir.
+	vmDir, err := os.MkdirTemp("", "vnfguard-gossip-log-")
+	check(err)
+	defer os.RemoveAll(vmDir)
+	vmLog, err := translog.OpenDurableLog(signer, vmDir, translog.StoreConfig{})
+	check(err)
+	appendAudit := func(l *translog.Log, from, to int) {
+		var batch []translog.Entry
+		for i := from; i < to; i++ {
+			batch = append(batch, translog.Entry{
+				Type: translog.EntryAttestOK, Timestamp: time.Now().UnixMilli(),
+				Actor: fmt.Sprintf("host-%d", i), Detail: "appraisal OK",
+			})
+		}
+		_, err := l.AppendBatch(batch)
+		check(err)
+	}
+	appendAudit(vmLog, 0, 5)
+	// The attacker's snapshot: a consistent committed state at size 5.
+	snap, err := snapshotFiles(vmDir)
+	check(err)
+
+	served := &servedLog{log: vmLog}
+	logLn, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer logLn.Close()
+	go http.Serve(logLn, served)
+	logURL := "http://" + logLn.Addr().String()
+
+	// Three witnesses: persisted heads (their own statedirs), gossip
+	// endpoints, full-mesh peers — what `log-server -monitor -name wN`
+	// runs in production.
+	names := []string{"w0", "w1", "w2"}
+	pools := make([]*translog.GossipPool, len(names))
+	dirs := make([]*statedir.Dir, len(names))
+	urls := make([]string, len(names))
+	for i, name := range names {
+		wd, err := os.MkdirTemp("", "vnfguard-witness-")
+		check(err)
+		defer os.RemoveAll(wd)
+		dirs[i], err = statedir.Open(wd)
+		check(err)
+		w, err := translog.OpenWitnessState(dirs[i], name, logKey)
+		check(err)
+		pools[i] = translog.NewGossipPool(name, w, translog.NewClient(logURL, logKey))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		check(err)
+		defer ln.Close()
+		go http.Serve(ln, translog.GossipHandler(pools[i]))
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range pools {
+		for j := range pools {
+			if i != j {
+				pools[i].AddPeer(translog.NewClient(urls[j], logKey))
+			}
+		}
+	}
+	for _, p := range pools {
+		check(p.Exchange())
+	}
+	// The log keeps growing; the witness set follows to size 8.
+	appendAudit(vmLog, 5, 8)
+	grown := vmLog.STH()
+	for _, p := range pools {
+		check(p.Exchange())
+	}
+	fmt.Printf("3 witnesses gossiping, all anchored at size %d (heads persisted per witness)\n", grown.Size)
+
+	// The rewind: restore the old snapshot — segments AND signed head
+	// together — and "restart" the log server from it.
+	check(vmLog.Close())
+	check(restoreFiles(vmDir, snap))
+	rolled, err := translog.OpenDurableLog(signer, vmDir, translog.StoreConfig{})
+	if err != nil {
+		log.Fatalf("consistent rollback was refused locally — act 7 exists because it cannot be: %v", err)
+	}
+	defer rolled.Close()
+	served.swap(rolled)
+	fmt.Printf("statedir rewound to size %d and restarted: recovery verified it cleanly — locally undetectable\n", rolled.Size())
+
+	// Control: a lone witness with no memory and no peers anchors on the
+	// rewritten history without a murmur. This is the gap peers close.
+	lone := translog.NewGossipPool("lone", translog.NewWitness(logKey), translog.NewClient(logURL, logKey))
+	check(lone.Exchange())
+	if lone.Conflict() == nil {
+		fmt.Println("zero-peer amnesiac witness: rollback UNDETECTED (as the attacker intended)")
+	}
+
+	// A witness restarted from its persisted statedir remembers size 8
+	// and convicts the log the moment it polls.
+	rw, err := translog.OpenWitnessState(dirs[0], names[0], logKey)
+	check(err)
+	restarted := translog.NewGossipPool(names[0], rw, translog.NewClient(logURL, logKey))
+	err = restarted.Exchange()
+	var ce *translog.ConflictError
+	if !errors.As(err, &ce) || !errors.Is(err, translog.ErrRollback) {
+		log.Fatalf("restarted witness failed to convict the rollback: %v", err)
+	}
+	fmt.Printf("restarted witness %s (persisted head): ROLLBACK convicted ✓\n", names[0])
+	fmt.Printf("  evidence: remembered signed head size=%d root=%x… vs served signed head size=%d root=%x…\n",
+		ce.Have.Size, ce.Have.RootHash[:6], ce.Got.Size, ce.Got.RootHash[:6])
+	check(ce.Verify(logKey))
+	fmt.Println("  both heads verify under the CA key: the conviction is portable, no trust in the witness needed ✓")
+
+	// And gossip covers even a witness that lost its state: the amnesiac
+	// re-anchored at size 5, but the moment a remembering peer pushes its
+	// size-8 head over gossip, the amnesiac convicts the log it watches
+	// — and the HTTP 409 carries the evidence back to the pushing peer.
+	amnesiacW := translog.NewWitness(logKey)
+	amnesiac := translog.NewGossipPool("amnesiac", amnesiacW, translog.NewClient(logURL, logKey))
+	amnLn, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer amnLn.Close()
+	go http.Serve(amnLn, translog.GossipHandler(amnesiac))
+	check(amnesiac.Exchange()) // re-anchors at the rewritten size 5
+
+	w1, err := translog.OpenWitnessState(dirs[1], names[1], logKey) // remembers size 8
+	check(err)
+	pusher := translog.NewGossipPool(names[1], w1, translog.NewClient(logURL, logKey))
+	pusher.AddPeer(translog.NewClient("http://"+amnLn.Addr().String(), logKey))
+	pushErr := pusher.Exchange()
+	if !errors.Is(pushErr, translog.ErrRollback) {
+		log.Fatalf("gossiped head failed to convict: %v", pushErr)
+	}
+	// The amnesiac convicted first-hand the moment the peer's size-8
+	// head arrived (the log it watches serves less than a head the log
+	// itself signed); the pusher convicted on its own poll. Neither took
+	// the other's word: peer claims are corroborated, never adopted.
+	if amnesiac.Conflict() == nil || pusher.Conflict() == nil {
+		log.Fatal("conviction not latched on both sides of the gossip exchange")
+	}
+	fmt.Printf("amnesiac witness + gossiped peer head (size %d): ROLLBACK convicted on both ends ✓ (%d peers make one witness's amnesia irrelevant)\n",
+		grown.Size, len(names)-1)
+}
+
+func snapshotFiles(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	snap := make(map[string][]byte)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		snap[e.Name()] = data
+	}
+	return snap, nil
+}
+
+func restoreFiles(dir string, snap map[string][]byte) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	for name, data := range snap {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func check(err error) {

@@ -86,6 +86,22 @@ func (d *Dir) Exists(name string) bool {
 	return err == nil
 }
 
+// Match returns the names of entries matching pattern (filepath.Match
+// syntax), sorted — the discovery half of the rendezvous: processes that
+// publish under a shared prefix (witness gossip URLs, host records) are
+// found without any registry.
+func (d *Dir) Match(pattern string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(d.path, pattern))
+	if err != nil {
+		return nil, fmt.Errorf("statedir: %w", err)
+	}
+	names := make([]string, 0, len(paths))
+	for _, p := range paths {
+		names = append(names, filepath.Base(p))
+	}
+	return names, nil
+}
+
 // ---- key material helpers -------------------------------------------------
 
 // GenerateKeyPEM creates a fresh P-256 key and returns it as PKCS#8 PEM.
@@ -176,3 +192,12 @@ const (
 
 // HostInfoFile returns the entry name a host agent publishes.
 func HostInfoFile(name string) string { return "host-" + name + ".json" }
+
+// WitnessURLFile returns the entry name under which a gossiping witness
+// (log-server -monitor) publishes its gossip endpoint URL; peers and the
+// Verification Manager discover the witness set via
+// Match(WitnessURLPattern).
+func WitnessURLFile(name string) string { return "witness-" + name + ".url" }
+
+// WitnessURLPattern matches every published witness gossip URL entry.
+const WitnessURLPattern = "witness-*.url"

@@ -1,0 +1,263 @@
+// Gossip: the multi-party half of rollback protection. The durable store
+// (store.go/recover.go) pins the log to its own disk, but an attacker who
+// rewinds the WAL segments *and* the persisted signed tree head together
+// presents a perfectly consistent earlier state — locally undetectable.
+// Witnesses that remember the newest verified head off that disk, persist
+// it across their own restarts, and gossip it to each other turn that
+// rewind into a cross-witness alarm: somewhere in the set a remembered
+// head is larger than the served one, and the two signed heads are
+// self-certifying evidence (ConflictError).
+package translog
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"vnfguard/internal/statedir"
+)
+
+// WitnessHeadFile returns the statedir entry name under which witness
+// name persists its last-accepted signed tree head.
+func WitnessHeadFile(name string) string { return "witness-" + name + "-head.json" }
+
+// OpenWitnessState returns a witness whose last-accepted head is durably
+// persisted in dir (statedir.Dir.Write is atomic, so readers never see a
+// torn head). A previously persisted head is restored — signature-checked
+// — so a witness restart resumes from remembered history instead of
+// re-anchoring at whatever the log serves next, which is exactly the
+// amnesia a local rollback attack needs.
+func OpenWitnessState(dir *statedir.Dir, name string, pub *ecdsa.PublicKey) (*Witness, error) {
+	w := NewWitness(pub)
+	entry := WitnessHeadFile(name)
+	data, err := dir.Read(entry)
+	switch {
+	case err == nil:
+		var sth SignedTreeHead
+		if err := json.Unmarshal(data, &sth); err != nil {
+			return nil, fmt.Errorf("translog: persisted witness head undecodable: %w", err)
+		}
+		if err := w.Restore(sth); err != nil {
+			return nil, fmt.Errorf("translog: persisted witness head: %w", err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First run: nothing to restore.
+	default:
+		return nil, fmt.Errorf("translog: reading persisted witness head: %w", err)
+	}
+	w.save = func(sth SignedTreeHead) error {
+		data, err := json.Marshal(sth)
+		if err != nil {
+			return err
+		}
+		return dir.Write(entry, data)
+	}
+	return w, nil
+}
+
+// GossipPool runs one witness's side of the gossip protocol: it advances
+// on the log's served heads, swaps last-accepted heads with a set of peer
+// witnesses, and latches the first ConflictError — two irreconcilable
+// signed heads — any of those observations produces.
+type GossipPool struct {
+	name string
+	w    *Witness
+	// log audits the server under watch: served heads and consistency
+	// proofs. May be nil for a pure relay witness (gossip only).
+	log *Client
+
+	mu       sync.Mutex
+	peers    []*Client
+	conflict *ConflictError
+}
+
+// NewGossipPool builds a pool for witness w (named for evidence
+// attribution) watching the log served by logClient.
+func NewGossipPool(name string, w *Witness, logClient *Client) *GossipPool {
+	return &GossipPool{name: name, w: w, log: logClient}
+}
+
+// Name returns the pool's witness name.
+func (g *GossipPool) Name() string { return g.name }
+
+// Witness returns the underlying witness state.
+func (g *GossipPool) Witness() *Witness { return g.w }
+
+// AddPeer registers another witness's gossip endpoint.
+func (g *GossipPool) AddPeer(c *Client) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.peers = append(g.peers, c)
+}
+
+// Peers returns the current peer set.
+func (g *GossipPool) Peers() []*Client {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Client(nil), g.peers...)
+}
+
+// SetPeers replaces the peer set wholesale — discovery reruns use this
+// to drop witnesses that republished a new gossip URL after a restart,
+// instead of accumulating dead endpoints forever.
+func (g *GossipPool) SetPeers(clients []*Client) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.peers = append([]*Client(nil), clients...)
+}
+
+// Conflict returns the first latched conviction, if any.
+func (g *GossipPool) Conflict() *ConflictError {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.conflict
+}
+
+// latch records the first conviction; later ones only add noise.
+func (g *GossipPool) latch(err error) error {
+	var ce *ConflictError
+	if errors.As(err, &ce) {
+		g.mu.Lock()
+		if g.conflict == nil {
+			g.conflict = ce
+		}
+		g.mu.Unlock()
+	}
+	return err
+}
+
+// fetchConsistency proxies proofs from the watched log; without one the
+// merge can only compare equal-size heads.
+func (g *GossipPool) fetchConsistency(first, second uint64) ([]Hash, error) {
+	if g.log == nil {
+		return nil, errors.New("translog: gossip pool has no log to fetch consistency proofs from")
+	}
+	return g.log.ConsistencyProof(first, second)
+}
+
+// ReceiveHead folds in a head observed from a peer (the server side of
+// POST /translog/v1/gossip) and returns this witness's current view. A
+// peer head newer than what the watched log currently serves is the
+// gossip protocol's sharpest verdict: the log signed that head for the
+// peer, so serving less now is a rollback — evidence is the peer's head
+// against the served one.
+func (g *GossipPool) ReceiveHead(peer SignedTreeHead) (SignedTreeHead, bool, error) {
+	err := g.mergeHead(peer)
+	last, seen := g.w.Last()
+	return last, seen, err
+}
+
+// mergeHead is the shared merge path for heads learned from peers. The
+// signature is verified exactly once here, at the trust boundary; the
+// witness merge below runs on the pre-verified head.
+func (g *GossipPool) mergeHead(peer SignedTreeHead) error {
+	if err := peer.Verify(g.w.pub); err != nil {
+		return err
+	}
+	if last, seen := g.w.Last(); seen && peer.Size > last.Size && g.log != nil {
+		// Before asking for a consistency proof the log may not be able to
+		// give, compare the peer head with what the log serves right now:
+		// served < peer-remembered is a rollback conviction on its own.
+		if served, err := g.log.STH(); err == nil && served.Size < peer.Size {
+			return g.latch(&ConflictError{Kind: ErrRollback, Have: peer, Got: served,
+				Detail: fmt.Sprintf("log serves %d entries but a peer holds its signed head covering %d", served.Size, peer.Size)})
+		}
+	}
+	return g.latch(g.w.mergeVerified(peer, g.fetchConsistency))
+}
+
+// corroboratePeerConviction handles a conviction a peer reported (an HTTP
+// 409 evidence bundle). Peer claims are not taken on faith — a malicious
+// peer must not be able to kill honest witnesses with fabricated or
+// replayed evidence. Equal-size/different-root pairs are self-certifying
+// and latch directly; anything else is treated as a hint: the evidence
+// heads are run through our own first-hand merge, so the conviction only
+// latches if the log really is misbehaving from where we stand.
+func (g *GossipPool) corroboratePeerConviction(ce *ConflictError) error {
+	if err := ce.Verify(g.w.pub); err != nil {
+		return fmt.Errorf("translog: peer conviction with unverifiable evidence dropped: %w", err)
+	}
+	if ce.SelfCertifying(g.w.pub) {
+		g.latch(ce)
+		return ce
+	}
+	for _, head := range []SignedTreeHead{ce.Have, ce.Got} {
+		if err := g.mergeHead(head); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("translog: peer conviction not corroborated from our view (peer reported: %v)", ce)
+}
+
+// Exchange runs one gossip round: advance on the served head, then swap
+// heads with every peer and merge what they hold. All conflicts are
+// latched; the returned error joins everything that went wrong this round
+// (transport errors included — a witness that cannot reach its peers is
+// degraded, not convicted).
+func (g *GossipPool) Exchange() error {
+	var errs []error
+	if g.log != nil {
+		sth, err := g.log.STH()
+		if err != nil {
+			errs = append(errs, err)
+		} else if err := g.latch(g.w.Advance(sth, g.fetchConsistency)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, p := range g.Peers() {
+		last, seen := g.w.Last()
+		head, ok, err := p.ExchangeGossip(g.name, last, seen)
+		if err != nil {
+			// A 409 from the peer is a conviction claim, which must be
+			// corroborated before it can latch; transport errors are just
+			// degradation.
+			var ce *ConflictError
+			if errors.As(err, &ce) {
+				err = g.corroboratePeerConviction(ce)
+			}
+			if err != nil {
+				errs = append(errs, err)
+			}
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if err := g.mergeHead(head); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Jitter returns d scaled by a uniform factor in [0.8, 1.2), so a fleet
+// of witnesses started together does not synchronise its gossip rounds
+// into thundering herds against the log and each other.
+func Jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}
+
+// Loop exchanges gossip until stop is closed, sleeping a jittered
+// interval between rounds. Every round's error (nil included) is passed
+// to report, which may be nil; the loop keeps running on errors — the
+// conviction stays latched in Conflict() for the caller to act on.
+func (g *GossipPool) Loop(interval time.Duration, stop <-chan struct{}, report func(error)) {
+	for {
+		err := g.Exchange()
+		if report != nil {
+			report(err)
+		}
+		t := time.NewTimer(Jitter(interval))
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}

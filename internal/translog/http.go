@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Log-server REST paths (CT-inspired, JSON bodies).
@@ -22,6 +23,17 @@ const (
 	PathConsistency = "/translog/v1/consistency"
 	PathLookup      = "/translog/v1/lookup"
 	PathAppend      = "/translog/v1/append"
+	PathGossip      = "/translog/v1/gossip"
+)
+
+// Client-side protocol errors.
+var (
+	// ErrAppendRejected reports a batch the server refused as invalid
+	// (HTTP 400): resubmitting the same batch cannot succeed, drop it.
+	ErrAppendRejected = errors.New("translog: append rejected as invalid")
+	// ErrLogUnavailable reports a transient server-side failure (HTTP
+	// 503, e.g. a latched durable store): retry later.
+	ErrLogUnavailable = errors.New("translog: log server unavailable")
 )
 
 // wireEntry is the JSON transport form: the canonical encoding travels
@@ -152,10 +164,96 @@ func Handler(l *Log) http.Handler {
 		}
 		indices, err := l.AppendBatch(batch)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			// The status code is the producer's retry policy: 400 means
+			// the batch itself is unacceptable (drop it), 503 means the
+			// store is latched failed or closed (retry against a healed
+			// server), 500 is everything else.
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrEntryTooLarge):
+				status = http.StatusBadRequest
+			case errors.Is(err, ErrStoreFailed):
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
 			return
 		}
 		writeJSON(w, map[string]any{"indices": indices, "sth": l.STH()})
+	})
+	return mux
+}
+
+// wireGossip carries one witness's view on the gossip wire: its name (for
+// evidence attribution in logs) and last-accepted head. Seen is false for
+// a witness that has not anchored yet.
+type wireGossip struct {
+	Name string         `json:"name,omitempty"`
+	Seen bool           `json:"seen"`
+	Head SignedTreeHead `json:"head"`
+}
+
+// wireConflict decodes the HTTP 409 body: a serialised ConflictError
+// (ConflictError.MarshalJSON produces the matching encoding). Kind
+// travels as a label so the evidence survives the round-trip as the same
+// errors.Is-able verdict.
+type wireConflict struct {
+	Kind   string         `json:"kind"` // "rollback" | "split-view"
+	Detail string         `json:"detail"`
+	Have   SignedTreeHead `json:"have"`
+	Got    SignedTreeHead `json:"got"`
+}
+
+func (wc wireConflict) toError() *ConflictError {
+	kind := error(ErrSplitView)
+	if wc.Kind == "rollback" {
+		kind = ErrRollback
+	}
+	return &ConflictError{Kind: kind, Detail: wc.Detail, Have: wc.Have, Got: wc.Got}
+}
+
+// GossipHandler serves a witness's side of head gossip. GET returns the
+// witness's last-accepted head; POST receives a peer's head, merges it,
+// and answers with our own — or with 409 plus the two-signed-head
+// evidence when the merge convicts the log. Junk input (malformed JSON,
+// heads with invalid signatures) is rejected with 400 and never touches
+// witness state.
+func GossipHandler(p *GossipPool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathGossip, func(w http.ResponseWriter, r *http.Request) {
+		last, seen := p.Witness().Last()
+		writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
+	})
+	mux.HandleFunc("POST "+PathGossip, func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		var in wireGossip
+		if err := json.Unmarshal(body, &in); err != nil {
+			http.Error(w, "malformed gossip", http.StatusBadRequest)
+			return
+		}
+		if !in.Seen {
+			// The peer has nothing to offer; just answer with our view.
+			last, seen := p.Witness().Last()
+			writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
+			return
+		}
+		last, seen, err := p.ReceiveHead(in.Head)
+		var ce *ConflictError
+		switch {
+		case err == nil:
+			writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
+		case errors.As(err, &ce):
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(ce)
+		case errors.Is(err, ErrBadSTH):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	return mux
 }
@@ -177,11 +275,44 @@ type Client struct {
 	http *http.Client
 }
 
-// NewClient builds a log client; pub may be nil to skip STH verification
-// (trusted-channel setups).
-func NewClient(baseURL string, pub *ecdsa.PublicKey) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), pub: pub, http: &http.Client{}}
+// DefaultClientTimeout bounds every log-server and gossip HTTP call. A
+// witness or monitor must never hang forever on a stalled server — a log
+// that stops answering is a finding, not a reason to stop auditing.
+const DefaultClientTimeout = 10 * time.Second
+
+// ClientConfig tunes the log client.
+type ClientConfig struct {
+	// Timeout bounds each HTTP request end to end (default
+	// DefaultClientTimeout; negative disables the bound entirely).
+	Timeout time.Duration
+	// Transport overrides the HTTP transport (nil: net/http default).
+	Transport http.RoundTripper
 }
+
+// NewClient builds a log client with the default request timeout; pub may
+// be nil to skip STH verification (trusted-channel setups).
+func NewClient(baseURL string, pub *ecdsa.PublicKey) *Client {
+	return NewClientWithConfig(baseURL, pub, ClientConfig{})
+}
+
+// NewClientWithConfig builds a log client with explicit tuning.
+func NewClientWithConfig(baseURL string, pub *ecdsa.PublicKey, cfg ClientConfig) *Client {
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = DefaultClientTimeout
+	}
+	if timeout < 0 {
+		timeout = 0
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		pub:  pub,
+		http: &http.Client{Timeout: timeout, Transport: cfg.Transport},
+	}
+}
+
+// BaseURL returns the server URL the client talks to.
+func (c *Client) BaseURL() string { return c.base }
 
 func (c *Client) get(path string, out any) error {
 	resp, err := c.http.Get(c.base + path)
@@ -289,22 +420,118 @@ func (c *Client) ProveSerial(serial string) (*ProofBundle, error) {
 
 // Append submits a batch to the remote log (Verification Manager use).
 func (c *Client) Append(batch []Entry) error {
+	_, err := c.AppendSTH(batch)
+	return err
+}
+
+// AppendSTH submits a batch and returns the server's fresh signed tree
+// head covering it — the head a producer publishes to witnesses, so the
+// witness set anchors on what the *server* signed, not on a head from a
+// different log under the same key.
+func (c *Client) AppendSTH(batch []Entry) (SignedTreeHead, error) {
 	wire := make([]wireEntry, len(batch))
 	for i, e := range batch {
 		wire[i] = wireEntry{Canonical: e.Marshal()}
 	}
 	body, err := json.Marshal(wire)
 	if err != nil {
-		return err
+		return SignedTreeHead{}, err
 	}
 	resp, err := c.http.Post(c.base+PathAppend, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return fmt.Errorf("translog client: append: %w", err)
+		return SignedTreeHead{}, fmt.Errorf("translog client: append: %w", err)
 	}
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("translog client: append: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out struct {
+			STH SignedTreeHead `json:"sth"`
+		}
+		if err := json.Unmarshal(data, &out); err != nil {
+			return SignedTreeHead{}, fmt.Errorf("translog client: append response: %w", err)
+		}
+		if c.pub != nil {
+			if err := out.STH.Verify(c.pub); err != nil {
+				return SignedTreeHead{}, err
+			}
+		}
+		return out.STH, nil
+	case http.StatusBadRequest:
+		// The server classified the batch itself as unacceptable: the
+		// producer must drop it, not retry it into the same wall.
+		return SignedTreeHead{}, fmt.Errorf("%w: %s", ErrAppendRejected, strings.TrimSpace(string(data)))
+	case http.StatusServiceUnavailable:
+		return SignedTreeHead{}, fmt.Errorf("%w: %s", ErrLogUnavailable, strings.TrimSpace(string(data)))
+	default:
+		return SignedTreeHead{}, fmt.Errorf("translog client: append: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 	}
-	return nil
+}
+
+// ExchangeGossip posts our last-accepted head (seen=false when we hold
+// none) to a peer witness's gossip endpoint and returns the peer's view.
+// A 409 response is the peer convicting the log on our evidence (or its
+// own): it comes back as the *ConflictError it is, both signed heads
+// attached.
+func (c *Client) ExchangeGossip(name string, head SignedTreeHead, seen bool) (SignedTreeHead, bool, error) {
+	body, err := json.Marshal(wireGossip{Name: name, Seen: seen, Head: head})
+	if err != nil {
+		return SignedTreeHead{}, false, err
+	}
+	resp, err := c.http.Post(c.base+PathGossip, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return SignedTreeHead{}, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out wireGossip
+		if err := json.Unmarshal(data, &out); err != nil {
+			return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: %w", err)
+		}
+		if out.Seen && c.pub != nil {
+			if err := out.Head.Verify(c.pub); err != nil {
+				return SignedTreeHead{}, false, err
+			}
+		}
+		return out.Head, out.Seen, nil
+	case http.StatusConflict:
+		var wc wireConflict
+		if err := json.Unmarshal(data, &wc); err != nil {
+			return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip conflict undecodable: %w", err)
+		}
+		ce := wc.toError()
+		if c.pub != nil {
+			// A conviction is only as good as its evidence: both heads
+			// must carry valid log signatures, or a malicious peer could
+			// fabricate 409s and turn the alarm channel into a kill
+			// switch for honest witnesses.
+			if err := ce.Verify(c.pub); err != nil {
+				return SignedTreeHead{}, false, fmt.Errorf("translog client: peer sent conviction with unverifiable evidence: %w", err)
+			}
+		}
+		return SignedTreeHead{}, false, ce
+	default:
+		return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: status %d: %s",
+			resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+}
+
+// GossipHead fetches a peer witness's last-accepted head without offering
+// ours.
+func (c *Client) GossipHead() (SignedTreeHead, bool, error) {
+	var out wireGossip
+	if err := c.get(PathGossip, &out); err != nil {
+		return SignedTreeHead{}, false, err
+	}
+	if out.Seen && c.pub != nil {
+		if err := out.Head.Verify(c.pub); err != nil {
+			return SignedTreeHead{}, false, err
+		}
+	}
+	return out.Head, out.Seen, nil
 }

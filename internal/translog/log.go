@@ -400,7 +400,12 @@ func (a *Appender) Flush() error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for (len(a.pending) > 0 || a.committing) && !a.closed {
+	// Wait out the buffer AND any in-flight commit, even when the
+	// appender is closing: Close's final commit drains pending and
+	// broadcasts, so this cannot hang — but returning early on closed
+	// would let a Flush racing Close report nil before the last batch
+	// (and its error) lands.
+	for len(a.pending) > 0 || a.committing {
 		a.idle.Wait()
 	}
 	return a.err

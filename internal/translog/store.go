@@ -28,6 +28,19 @@ var (
 	ErrStateTampered = errors.New("translog: on-disk log state tampered")
 )
 
+// Append-path errors the HTTP layer maps to status codes, so a producer
+// can tell "this batch is unacceptable" (drop it) from "the store is
+// down" (retry later).
+var (
+	// ErrEntryTooLarge reports an entry whose encoding exceeds the WAL
+	// record frame limit; it is refused before any byte is written and
+	// the store stays healthy.
+	ErrEntryTooLarge = errors.New("translog: entry exceeds record size limit")
+	// ErrStoreFailed reports a latched durable-store failure (or a closed
+	// store): every append fails until the store is reopened.
+	ErrStoreFailed = errors.New("translog: durable store unavailable")
+)
+
 // sthFileName holds the latest durably persisted signed tree head.
 const sthFileName = "sth.json"
 
@@ -102,16 +115,16 @@ func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
 	// the batch back) without latching the store failed.
 	for _, p := range payloads {
 		if len(p) > maxRecordBytes {
-			return fmt.Errorf("translog: entry encoding %d bytes exceeds record limit %d", len(p), maxRecordBytes)
+			return fmt.Errorf("%w: encoding is %d bytes, record limit %d", ErrEntryTooLarge, len(p), maxRecordBytes)
 		}
 	}
 	if err := s.writeRecords(payloads); err != nil {
-		s.failed = err
-		return err
+		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
+		return s.failed
 	}
 	if err := s.persistSTH(sth); err != nil {
-		s.failed = err
-		return err
+		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
+		return s.failed
 	}
 	s.size += uint64(len(payloads))
 	return nil
@@ -261,7 +274,7 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed == nil {
-		s.failed = errors.New("translog: store closed")
+		s.failed = fmt.Errorf("%w: store closed", ErrStoreFailed)
 	}
 	if s.active == nil {
 		return nil

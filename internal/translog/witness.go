@@ -2,8 +2,10 @@ package translog
 
 import (
 	"crypto/ecdsa"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Witness errors: each names the misbehaviour an auditor would report.
@@ -16,13 +18,94 @@ var (
 	ErrSplitView = errors.New("translog: split view detected")
 )
 
+// ConflictError is the evidence form of ErrRollback/ErrSplitView: the two
+// signed tree heads that cannot both describe one append-only log. Both
+// heads carry valid log signatures, so the pair is self-certifying — any
+// third party holding the CA certificate can re-verify the conviction
+// without trusting the witness that raised it. (For a rollback the pair
+// proves the log signed both heads; the claim that the smaller one was
+// served *after* the larger is the observing witness's testimony, which
+// is why peers corroborate received convictions against their own view
+// before adopting them — see GossipPool.)
+type ConflictError struct {
+	// Kind is ErrRollback or ErrSplitView (errors.Is sees through it).
+	Kind error
+	// Have is the head the witness holds as verified history.
+	Have SignedTreeHead
+	// Got is the irreconcilable head that was observed.
+	Got SignedTreeHead
+	// Detail says how the two heads conflict.
+	Detail string
+}
+
+// KindLabel names the verdict for wire and log serialisation.
+func (e *ConflictError) KindLabel() string {
+	if errors.Is(e.Kind, ErrRollback) {
+		return "rollback"
+	}
+	return "split-view"
+}
+
+// MarshalJSON serialises the evidence with the verdict kind included, so
+// archived convictions stay machine-readable.
+func (e *ConflictError) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Kind   string         `json:"kind"`
+		Detail string         `json:"detail"`
+		Have   SignedTreeHead `json:"have"`
+		Got    SignedTreeHead `json:"got"`
+	}{e.KindLabel(), e.Detail, e.Have, e.Got})
+}
+
+// Error renders the verdict with both heads summarised.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("%v: %s (have size=%d root=%x… ts=%d; got size=%d root=%x… ts=%d)",
+		e.Kind, e.Detail,
+		e.Have.Size, e.Have.RootHash[:4], e.Have.Timestamp,
+		e.Got.Size, e.Got.RootHash[:4], e.Got.Timestamp)
+}
+
+// Unwrap lets errors.Is match the underlying verdict kind.
+func (e *ConflictError) Unwrap() error { return e.Kind }
+
+// Verify re-checks the evidence: both heads must carry valid log
+// signatures, otherwise the "conviction" proves nothing.
+func (e *ConflictError) Verify(pub *ecdsa.PublicKey) error {
+	if err := e.Have.Verify(pub); err != nil {
+		return fmt.Errorf("translog: evidence 'have' head: %w", err)
+	}
+	if err := e.Got.Verify(pub); err != nil {
+		return fmt.Errorf("translog: evidence 'got' head: %w", err)
+	}
+	return nil
+}
+
+// SelfCertifying reports whether the evidence pair alone proves log
+// misbehaviour to any third party: two signature-valid heads of equal
+// size with different roots can never both belong to one append-only
+// log, no matter who presents them or when.
+func (e *ConflictError) SelfCertifying(pub *ecdsa.PublicKey) bool {
+	return e.Have.Size == e.Got.Size &&
+		e.Have.RootHash != e.Got.RootHash &&
+		e.Verify(pub) == nil
+}
+
 // Witness is the monitor-side state of the gossip protocol: it remembers
 // the last verified tree head and refuses to advance to any head that is
-// not a signature-valid, consistency-proven extension of it.
+// not a signature-valid, consistency-proven extension of it. All methods
+// are safe for concurrent use — a witness is shared between its poll
+// loop and the gossip endpoints — and no lock is held across a
+// consistency-proof fetch, so a stalled log server cannot wedge the
+// gossip endpoints behind a witness mutex.
 type Witness struct {
-	pub  *ecdsa.PublicKey
+	pub *ecdsa.PublicKey
+
+	mu   sync.Mutex
 	last SignedTreeHead
 	seen bool
+	// save, when set (OpenWitnessState), persists every newly accepted
+	// head so a witness restart is not amnesia.
+	save func(SignedTreeHead) error
 }
 
 // NewWitness creates a witness verifying heads against the log public key
@@ -32,44 +115,183 @@ func NewWitness(pub *ecdsa.PublicKey) *Witness {
 }
 
 // Last returns the most recently accepted tree head.
-func (w *Witness) Last() (SignedTreeHead, bool) { return w.last, w.seen }
+func (w *Witness) Last() (SignedTreeHead, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.last, w.seen
+}
 
-// Advance validates a newly observed tree head. fetchConsistency is
-// called (only when needed) to obtain the proof linking the previous head
-// to the new one — typically Client.ConsistencyProof. On success the
-// witness adopts the new head; on failure its state is unchanged and the
-// error says what the log did wrong.
+// Restore seeds the witness from a previously accepted head (its own
+// persisted state). The signature is still checked — a tampered state
+// file must not become trusted history — but no consistency proof is
+// demanded: the head was already proven when it was first accepted.
+func (w *Witness) Restore(sth SignedTreeHead) error {
+	if err := sth.Verify(w.pub); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seen && sth.Size < w.last.Size {
+		// Never let a restore move the witness backwards.
+		return nil
+	}
+	w.last, w.seen = sth, true
+	return nil
+}
+
+// adoptLocked replaces the accepted head and persists it. Callers hold
+// w.mu.
+func (w *Witness) adoptLocked(sth SignedTreeHead) error {
+	w.last, w.seen = sth, true
+	if w.save == nil {
+		return nil
+	}
+	if err := w.save(sth); err != nil {
+		// The in-memory adoption stands — monitoring must not stall on a
+		// full disk — but the caller learns persistence is degraded.
+		return fmt.Errorf("translog: persisting witness head: %w", err)
+	}
+	return nil
+}
+
+// proveExtension fetches (outside any lock) and verifies the consistency
+// proof that prev extends to next.
+func proveExtension(prev, next SignedTreeHead, fetch func(first, second uint64) ([]Hash, error)) error {
+	var proof []Hash
+	if prev.Size > 0 {
+		var err error
+		proof, err = fetch(prev.Size, next.Size)
+		if err != nil {
+			return fmt.Errorf("translog: fetching consistency proof: %w", err)
+		}
+	}
+	if err := VerifyConsistency(prev.Size, next.Size, prev.RootHash, next.RootHash, proof); err != nil {
+		return ErrProofInvalid
+	}
+	return nil
+}
+
+// Advance validates a head served by the log under watch. fetchConsistency
+// is called (only when needed, and never under the witness lock) to obtain
+// the proof linking the previous head to the new one — typically
+// Client.ConsistencyProof. On success the witness adopts the new head; on
+// failure its state is unchanged and the error says what the log did
+// wrong: a *ConflictError carrying both signed heads for
+// ErrRollback/ErrSplitView verdicts.
 func (w *Witness) Advance(sth SignedTreeHead, fetchConsistency func(first, second uint64) ([]Hash, error)) error {
 	if err := sth.Verify(w.pub); err != nil {
 		return err
 	}
-	if !w.seen {
-		w.last, w.seen = sth, true
-		return nil
-	}
-	prev := w.last
-	switch {
-	case sth.Size < prev.Size:
-		return fmt.Errorf("%w: head regressed from %d to %d entries", ErrRollback, prev.Size, sth.Size)
-	case sth.Size == prev.Size:
-		if sth.RootHash != prev.RootHash {
-			return fmt.Errorf("%w: two signed heads at size %d with different roots", ErrSplitView, sth.Size)
+	for {
+		w.mu.Lock()
+		if !w.seen {
+			defer w.mu.Unlock()
+			return w.adoptLocked(sth)
 		}
-		w.last = sth
-		return nil
-	default:
-		var proof []Hash
-		if prev.Size > 0 {
-			var err error
-			proof, err = fetchConsistency(prev.Size, sth.Size)
-			if err != nil {
-				return fmt.Errorf("translog: fetching consistency proof: %w", err)
+		prev := w.last
+		switch {
+		case sth.Size < prev.Size:
+			w.mu.Unlock()
+			return &ConflictError{Kind: ErrRollback, Have: prev, Got: sth,
+				Detail: fmt.Sprintf("served head regressed from %d to %d entries", prev.Size, sth.Size)}
+		case sth.Size == prev.Size:
+			defer w.mu.Unlock()
+			if sth.RootHash != prev.RootHash {
+				return &ConflictError{Kind: ErrSplitView, Have: prev, Got: sth,
+					Detail: fmt.Sprintf("two signed heads at size %d with different roots", sth.Size)}
+			}
+			// Same size, same root: keep whichever head is newest.
+			// Adopting a regressed timestamp would silently move Last()
+			// backwards in time, aging the freshness signal the witness
+			// reports.
+			if sth.Timestamp <= prev.Timestamp {
+				return nil
+			}
+			return w.adoptLocked(sth)
+		}
+		// Extension: prove it without holding the lock, then re-check the
+		// state did not move while the proof was in flight.
+		w.mu.Unlock()
+		switch err := proveExtension(prev, sth, fetchConsistency); {
+		case errors.Is(err, ErrProofInvalid):
+			return &ConflictError{Kind: ErrSplitView, Have: prev, Got: sth,
+				Detail: fmt.Sprintf("head at size %d is not an extension of size %d", sth.Size, prev.Size)}
+		case err != nil:
+			return err
+		}
+		w.mu.Lock()
+		moved := w.last.Size != prev.Size || w.last.RootHash != prev.RootHash
+		if !moved {
+			defer w.mu.Unlock()
+			return w.adoptLocked(sth)
+		}
+		w.mu.Unlock()
+		// Someone else adopted a different head meanwhile: re-evaluate
+		// sth against the new state from scratch.
+	}
+}
+
+// Merge folds in a head remembered by a gossip peer. Unlike Advance, a
+// smaller head is not a rollback verdict — a lagging peer legitimately
+// remembers old history — but it must still be consistency-provable into
+// ours, and an equal-size head must share our root: two signed heads that
+// cannot be reconciled are a split view whoever holds them. A larger
+// consistent head is adopted, so gossip spreads the newest view through
+// the witness set. fetchConsistency asks the log under watch for proofs.
+func (w *Witness) Merge(sth SignedTreeHead, fetchConsistency func(first, second uint64) ([]Hash, error)) error {
+	if err := sth.Verify(w.pub); err != nil {
+		return err
+	}
+	return w.mergeVerified(sth, fetchConsistency)
+}
+
+// mergeVerified is Merge for a head whose signature the caller already
+// checked (GossipPool verifies once at its trust boundary).
+func (w *Witness) mergeVerified(sth SignedTreeHead, fetchConsistency func(first, second uint64) ([]Hash, error)) error {
+	for {
+		w.mu.Lock()
+		if !w.seen {
+			defer w.mu.Unlock()
+			return w.adoptLocked(sth)
+		}
+		prev := w.last
+		if sth.Size == prev.Size {
+			defer w.mu.Unlock()
+			if sth.RootHash != prev.RootHash {
+				return &ConflictError{Kind: ErrSplitView, Have: prev, Got: sth,
+					Detail: fmt.Sprintf("peer holds a different root at size %d", sth.Size)}
+			}
+			if sth.Timestamp <= prev.Timestamp {
+				return nil
+			}
+			return w.adoptLocked(sth)
+		}
+		w.mu.Unlock()
+
+		if sth.Size < prev.Size {
+			// The peer lags; prove its old head is a prefix of ours. No
+			// adoption happens, so a concurrent state change is harmless.
+			switch err := proveExtension(sth, prev, fetchConsistency); {
+			case errors.Is(err, ErrProofInvalid):
+				return &ConflictError{Kind: ErrSplitView, Have: prev, Got: sth,
+					Detail: fmt.Sprintf("peer head at size %d is not a prefix of size %d", sth.Size, prev.Size)}
+			default:
+				return err
 			}
 		}
-		if err := VerifyConsistency(prev.Size, sth.Size, prev.RootHash, sth.RootHash, proof); err != nil {
-			return fmt.Errorf("%w: head at size %d is not an extension of size %d", ErrSplitView, sth.Size, prev.Size)
+		switch err := proveExtension(prev, sth, fetchConsistency); {
+		case errors.Is(err, ErrProofInvalid):
+			return &ConflictError{Kind: ErrSplitView, Have: prev, Got: sth,
+				Detail: fmt.Sprintf("peer head at size %d is not an extension of size %d", sth.Size, prev.Size)}
+		case err != nil:
+			return err
 		}
-		w.last = sth
-		return nil
+		w.mu.Lock()
+		moved := w.last.Size != prev.Size || w.last.RootHash != prev.RootHash
+		if !moved {
+			defer w.mu.Unlock()
+			return w.adoptLocked(sth)
+		}
+		w.mu.Unlock()
 	}
 }
