@@ -14,14 +14,17 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"vnfguard/internal/controller"
 	"vnfguard/internal/core"
 	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/epid"
 	"vnfguard/internal/ima"
 	"vnfguard/internal/pki"
+	"vnfguard/internal/sgx"
 	"vnfguard/internal/simtime"
 	"vnfguard/internal/translog"
 	"vnfguard/internal/vnf"
@@ -702,6 +705,139 @@ func BenchmarkE14GossipExchange(b *testing.B) {
 			b.StopTimer()
 			if pool.Conflict() != nil {
 				b.Fatalf("honest gossip convicted: %v", pool.Conflict())
+			}
+		})
+	}
+}
+
+// e15Platform builds the SGX platform the sealed-head anchor runs on
+// for the E15 benchmarks, under the E-series cost model (so the modeled
+// counter-bump and seal charges shape the result).
+func e15Platform(b *testing.B) *sgx.Platform {
+	b.Helper()
+	issuer, err := epid.NewIssuer(0xE15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sgx.NewPlatform("bench-machine", issuer, benchModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// e15Anchor launches a sealed-head anchor for a store directory.
+func e15Anchor(b *testing.B, p *sgx.Platform, vendor *ecdsa.PrivateKey, dir string, pub *ecdsa.PublicKey) *translog.SealedHeadAnchor {
+	b.Helper()
+	a, err := translog.NewSealedHeadAnchor(p, vendor, filepath.Join(dir, translog.SealedHeadFileName), pub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkE15SealedCommit measures what the enclave-sealed monotonic
+// head costs the hot audit path: the batched appender over the durable
+// WAL with the sealed anchor in the commit chain (per committed batch:
+// one ECall + counter read + seal, one atomic blob replacement, one
+// counter bump) against the same appender on the plain durable log.
+// Budget: the sealed per-entry cost must stay within 2x of the plain
+// durable append — the anchor work is per batch, so batching amortises
+// it exactly like the fsync and the head signature.
+func BenchmarkE15SealedCommit(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	pub := d.VM.CA().Certificate().PublicKey.(*ecdsa.PublicKey)
+	vendor, err := pki.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, l *translog.Log) {
+		a := translog.NewAppender(l, translog.AppenderConfig{MaxBatch: 256})
+		defer a.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := a.Append(benchLogEntry(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := a.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if got := l.Size(); got != uint64(b.N) {
+			b.Fatalf("committed %d of %d entries", got, b.N)
+		}
+	}
+	b.Run("durable-batched-256", func(b *testing.B) {
+		l, err := translog.OpenDurableLog(signer, b.TempDir(), translog.StoreConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		run(b, l)
+	})
+	b.Run("sealed-batched-256", func(b *testing.B) {
+		// A fresh platform per invocation: each b.N re-run gets a fresh
+		// "machine" whose counter starts in step with the fresh store.
+		platform := e15Platform(b)
+		dir := b.TempDir()
+		l, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{
+			Anchors: []translog.TrustAnchor{e15Anchor(b, platform, vendor, dir, pub)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		run(b, l)
+	})
+}
+
+// BenchmarkE15SealedRecovery measures the restart path with the sealed
+// anchor: replay + plain head verification plus one unseal, one counter
+// read and the size/root comparison against the sealed head.
+func BenchmarkE15SealedRecovery(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	pub := d.VM.CA().Certificate().PublicKey.(*ecdsa.PublicKey)
+	vendor, err := pki.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, population := range []int{1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("entries-%d", population), func(b *testing.B) {
+			platform := e15Platform(b)
+			dir := b.TempDir()
+			l, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{
+				Anchors: []translog.TrustAnchor{e15Anchor(b, platform, vendor, dir, pub)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]translog.Entry, population)
+			for i := range batch {
+				batch[i] = benchLogEntry(i)
+			}
+			if _, err := l.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				re, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{
+					Anchors: []translog.TrustAnchor{e15Anchor(b, platform, vendor, dir, pub)},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if re.Size() != uint64(population) {
+					b.Fatal("short recovery")
+				}
+				if err := re.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

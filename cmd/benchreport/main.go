@@ -1,5 +1,5 @@
 // Command benchreport regenerates every experiment in EXPERIMENTS.md
-// (E1–E14): it assembles deployments per DESIGN.md §4, runs the
+// (E1–E15): it assembles deployments per DESIGN.md §4, runs the
 // workloads, and prints one table per experiment. Pass -markdown to emit
 // GitHub-flavored tables for pasting into EXPERIMENTS.md.
 //
@@ -20,6 +20,10 @@ import (
 
 	"crypto/ecdsa"
 	"crypto/tls"
+	"path/filepath"
+
+	"vnfguard/internal/epid"
+	"vnfguard/internal/sgx"
 
 	"vnfguard/internal/controller"
 	"vnfguard/internal/core"
@@ -62,6 +66,7 @@ func main() {
 		{"E12", "Credential inclusion-proof verification", runE12},
 		{"E13", "Durable log appends and crash recovery", runE13},
 		{"E14", "Witness gossip exchange and head verification", runE14},
+		{"E15", "Enclave-sealed monotonic head (commit overhead + recovery)", runE15},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -1003,5 +1008,132 @@ func runE14(runs int) (*metrics.Table, error) {
 			fmt.Sprintf("%.2f ms", float64(mean)/float64(time.Millisecond)),
 			fmt.Sprintf("%.1f µs", float64(mean)/float64(peers)/float64(time.Microsecond)))
 	}
+	return t, nil
+}
+
+// runE15 measures the enclave-sealed monotonic head: what sealing every
+// committed head (ECall + counter read + AEAD seal per batch, one
+// atomic blob replacement, one counter bump) adds to the durable
+// batched append path, and what the extra unseal + counter check adds
+// to recovery. Budget: sealed appends must stay within 2.0x of the
+// plain durable appender — the anchor work is per batch, so the
+// appender amortises it like the fsync and the head signature.
+func runE15(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	pub := ca.Certificate().PublicKey.(*ecdsa.PublicKey)
+	vendor, err := pki.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	issuer, err := epid.NewIssuer(0xE15)
+	if err != nil {
+		return nil, err
+	}
+	platform, err := sgx.NewPlatform("bench-machine", issuer, simtime.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	mkEntry := func(i int) translog.Entry {
+		return translog.Entry{
+			Type: translog.EntryAttestOK, Timestamp: int64(i),
+			Actor: fmt.Sprintf("fw-%d", i), Host: "host-0", Detail: "OK",
+		}
+	}
+	const perRun = 2048
+	appendAll := func(l *translog.Log) error {
+		app := translog.NewAppender(l, translog.AppenderConfig{MaxBatch: 256})
+		defer app.Close()
+		for i := 0; i < perRun; i++ {
+			if err := app.Append(mkEntry(i)); err != nil {
+				return err
+			}
+		}
+		return app.Flush()
+	}
+	mkAnchor := func(dir string) []translog.TrustAnchor {
+		a, err := translog.NewSealedHeadAnchor(platform, vendor,
+			filepath.Join(dir, translog.SealedHeadFileName), pub)
+		if err != nil {
+			panic(err)
+		}
+		return []translog.TrustAnchor{a}
+	}
+
+	durDir, err := os.MkdirTemp("", "benchreport-e15-durable-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(durDir)
+	dur, err := translog.OpenDurableLog(ca.Signer(), durDir, translog.StoreConfig{})
+	if err != nil {
+		return nil, err
+	}
+	hd := metrics.NewHistogram("durable")
+	for r := 0; r < runs; r++ {
+		hd.Time(func() {
+			if err := appendAll(dur); err != nil {
+				panic(err)
+			}
+		})
+	}
+	if err := dur.Close(); err != nil {
+		return nil, err
+	}
+
+	sealDir, err := os.MkdirTemp("", "benchreport-e15-sealed-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sealDir)
+	sealed, err := translog.OpenDurableLog(ca.Signer(), sealDir, translog.StoreConfig{Anchors: mkAnchor(sealDir)})
+	if err != nil {
+		return nil, err
+	}
+	hs := metrics.NewHistogram("sealed")
+	for r := 0; r < runs; r++ {
+		hs.Time(func() {
+			if err := appendAll(sealed); err != nil {
+				panic(err)
+			}
+		})
+	}
+	if err := sealed.Close(); err != nil {
+		return nil, err
+	}
+
+	hr := metrics.NewHistogram("sealed-recovery")
+	var recovered uint64
+	for r := 0; r < runs; r++ {
+		hr.Time(func() {
+			re, err := translog.OpenDurableLog(ca.Signer(), sealDir, translog.StoreConfig{Anchors: mkAnchor(sealDir)})
+			if err != nil {
+				panic(err)
+			}
+			recovered = re.Size()
+			if err := re.Close(); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	perEntry := func(mean time.Duration) string {
+		return fmt.Sprintf("%.2f µs", float64(mean)/float64(perRun)/float64(time.Microsecond))
+	}
+	dMean, sMean := hd.Summarize().Mean, hs.Summarize().Mean
+	ratio := float64(sMean) / float64(dMean)
+	verdict := "within ≤2.0× budget"
+	if ratio > 2.0 {
+		verdict = "OVER ≤2.0× budget"
+	}
+	t := metrics.NewTable("E15 — enclave-sealed monotonic head (n="+fmt.Sprint(runs)+", "+fmt.Sprint(perRun)+" entries/run)",
+		"variant", "per-entry latency", "vs durable")
+	t.AddRow("durable WAL appender (256/batch)", perEntry(dMean), "1.0×")
+	t.AddRow("sealed WAL appender (256/batch)", perEntry(sMean),
+		fmt.Sprintf("%.2f× (%s)", ratio, verdict))
+	t.AddRow(fmt.Sprintf("sealed recovery (%d entries)", recovered),
+		fmt.Sprintf("%.1f ms total", float64(hr.Summarize().Mean)/float64(time.Millisecond)), "-")
 	return t, nil
 }

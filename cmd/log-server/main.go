@@ -37,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -54,6 +55,8 @@ func main() {
 	name := flag.String("name", "witness", "witness name (monitor mode): keys the persisted head and published gossip URL")
 	gossipAddr := flag.String("gossip-addr", "127.0.0.1:0", "gossip listen address (monitor mode)")
 	peers := flag.String("peers", "", "comma-separated peer witness gossip URLs (monitor mode; default: discover via state dir)")
+	seal := flag.Bool("seal", false, "anchor the served log's tree head in an enclave-sealed monotonic counter (serve mode)")
+	nvFile := flag.String("sgx-nv", "sgx-nv-log-server.json", "platform NV file for -seal (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	flag.Parse()
 
@@ -65,7 +68,7 @@ func main() {
 		runMonitor(dir, *logURL, *name, *gossipAddr, *peers, *interval, *wait)
 		return
 	}
-	runServe(dir, *addr, *wait)
+	runServe(dir, *addr, *seal, *nvFile, *wait)
 }
 
 // caPublicKey loads the deployment's log verification key from the
@@ -86,7 +89,7 @@ func caPublicKey(dir *statedir.Dir, wait time.Duration) *ecdsa.PublicKey {
 	return pub
 }
 
-func runServe(dir *statedir.Dir, addr string, wait time.Duration) {
+func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, wait time.Duration) {
 	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
 	if err != nil {
 		log.Fatalf("run `verification-manager -init` first: %v", err)
@@ -105,10 +108,33 @@ func runServe(dir *statedir.Dir, addr string, wait time.Duration) {
 	// (which a witness would — correctly — flag as a rollback). If the
 	// on-disk state was rolled back or tampered with, this open refuses
 	// to start; do not delete the store to "fix" it, that is the signal.
-	// No Close on shutdown: the process only exits via log.Fatal, and
-	// every committed batch is already fsynced — recovery picks up from
-	// the durable state exactly as a crash would.
-	l, err := translog.OpenDurableLog(ca.Signer(), dir.Path(statedir.DirServerLog), translog.StoreConfig{})
+	// With -seal the refusal extends to a *consistent* rewind: the
+	// newest head is pinned by an enclave-sealed monotonic counter in
+	// the platform NV file (which models hardware — keep it outside the
+	// state directory an attacker could rewind). No Close on shutdown:
+	// the process only exits via log.Fatal, and every committed batch is
+	// already fsynced — recovery picks up from the durable state exactly
+	// as a crash would.
+	cfg := translog.StoreConfig{}
+	if seal {
+		caKey, err := statedir.ParseKeyPEM(caKeyPEM)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := translog.OpenSealedPlatform(dir, "log-server", nvFile, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anchor, err := translog.NewSealedHeadAnchor(p, caKey,
+			filepath.Join(dir.Path(statedir.DirServerLog), translog.SealedHeadFileName),
+			&caKey.PublicKey)
+		if err != nil {
+			log.Fatalf("launching sealed-head anchor: %v", err)
+		}
+		cfg.Anchors = append(cfg.Anchors, anchor)
+		log.Printf("sealed-head anchor active: tree head pinned by enclave-sealed monotonic counter (NV: %s)", nvFile)
+	}
+	l, err := translog.OpenDurableLog(ca.Signer(), dir.Path(statedir.DirServerLog), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

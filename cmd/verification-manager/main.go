@@ -49,6 +49,8 @@ func main() {
 	learn := flag.Bool("learn", true, "learn the current IML as golden before appraising")
 	requireTPM := flag.Bool("require-tpm", false, "appraisal policy demands TPM-rooted IML")
 	subKey := flag.String("subscription-key", "vnfguard-subscription", "IAS API key")
+	sealLog := flag.Bool("seal-log", false, "anchor the durable log's tree head in an enclave-sealed monotonic counter")
+	nvFile := flag.String("sgx-nv", "sgx-nv-vm.json", "platform NV file for -seal-log (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	flag.Parse()
 
@@ -60,7 +62,7 @@ func main() {
 		runInit(dir)
 		return
 	}
-	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *wait)
+	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *sealLog, *nvFile, *wait)
 }
 
 // runInit publishes the deployment's trust anchors.
@@ -125,7 +127,7 @@ type hostInfo struct {
 	AIKPubDER     string `json:"aik_pub_der"`
 }
 
-func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, wait time.Duration) {
+func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, sealLog bool, nvFile string, wait time.Duration) {
 	model := simtime.DefaultCosts()
 
 	vmKeyPEM, err := dir.WaitFor(statedir.FileVMKey, wait)
@@ -178,13 +180,30 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 	// The transparency log lives in the statedir, so the audit history —
 	// and the rollback guarantee recovery enforces over it — survives VM
 	// restarts. A rolled-back or tampered statedir refuses to open here.
+	// With -seal-log it additionally refuses (ErrSealedRollback) a
+	// statedir rewound *consistently*, because the newest head is pinned
+	// by a monotonic counter in the platform NV file — which models
+	// hardware and therefore must not live inside the rewindable
+	// statedir.
+	var sealPlatform *sgx.Platform
+	if sealLog {
+		var err error
+		sealPlatform, err = translog.OpenSealedPlatform(dir, "verification-manager", nvFile, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	vm, err := verifier.New(verifier.Config{
 		Name: "verification-manager", Key: vmKey, SPID: sgx.SPID{0x42},
 		IAS: iasClient, Policy: policy, CA: ca,
-		LogDir: dir.Path(statedir.DirVMLog),
+		LogDir:  dir.Path(statedir.DirVMLog),
+		SealLog: sealPlatform,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if sealLog {
+		log.Printf("sealed-head anchor active: tree head pinned by enclave-sealed monotonic counter (NV: %s)", nvFile)
 	}
 	log.Printf("durable transparency log open: %d entries recovered from %s",
 		vm.TransparencyLog().Size(), dir.Path(statedir.DirVMLog))

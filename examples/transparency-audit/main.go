@@ -7,11 +7,14 @@
 // catching a split-view (forked-history) log, a VM kill-and-restart: the
 // log is durable, so proofs issued before the restart still verify
 // against post-restart tree heads — while a rolled-back statedir refuses
-// to open at all. The finale is the attack local durability cannot see:
-// a *consistent* rollback (WAL segments and persisted signed head
+// to open at all. Then the attack local durability cannot see: a
+// *consistent* rollback (WAL segments and persisted signed head
 // rewound together) that reopens cleanly, goes unnoticed by a lone
 // amnesiac witness, and is convicted by a gossiping witness set holding
-// the two irreconcilable signed heads as evidence.
+// the two irreconcilable signed heads as evidence. The finale upgrades
+// the attacker once more — rewinding the witness state too, total
+// amnesia — and the enclave-sealed monotonic tree head still convicts,
+// because its counter lives in platform hardware, not on any disk.
 //
 //	go run ./examples/transparency-audit
 package main
@@ -34,7 +37,9 @@ import (
 	"vnfguard/internal/controller"
 	"vnfguard/internal/core"
 	"vnfguard/internal/enclaveapp"
+	"vnfguard/internal/epid"
 	"vnfguard/internal/pki"
+	"vnfguard/internal/sgx"
 	"vnfguard/internal/statedir"
 	"vnfguard/internal/translog"
 	"vnfguard/internal/vnf"
@@ -228,6 +233,15 @@ func main() {
 	fmt.Println("--- multi-witness gossip: catching a consistent local rollback ---")
 	runGossipAct(d.VM.CA().Signer(), logKey)
 
+	// 8. Total amnesia: the attack act 7 cannot catch. Rewind the log's
+	//    statedir AND every witness's persisted state together — every
+	//    byte of filesystem memory agrees with the rewritten history.
+	//    Only a memory off the filesystem survives: the enclave-sealed
+	//    monotonic counter in platform NV convicts at open.
+	fmt.Println()
+	fmt.Println("--- sealed monotonic head: catching a TOTAL-amnesia rollback ---")
+	runSealedAct(d.VM.CA().Signer(), logKey)
+
 	fmt.Println()
 	fmt.Println("audit complete: every verdict provable, nothing taken on faith — not even across restarts")
 }
@@ -387,6 +401,92 @@ func runGossipAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
 	}
 	fmt.Printf("amnesiac witness + gossiped peer head (size %d): ROLLBACK convicted on both ends ✓ (%d peers make one witness's amnesia irrelevant)\n",
 		grown.Size, len(names)-1)
+}
+
+// runSealedAct demonstrates the last trust-anchor layer. The attacker
+// of act 7 upgrades: this time the snapshot-restore covers the log's
+// statedir AND the witness's persisted head, so no surviving file
+// remembers the newer history — gossip has nothing to gossip. The
+// sealed anchor still convicts, because each committed head was sealed
+// by an enclave into a blob stamped with a monotonic counter that lives
+// in platform NV (hardware), and the restored blob's stamp is behind
+// the counter.
+func runSealedAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
+	vendor, err := pki.GenerateKey()
+	check(err)
+	issuer, err := epid.NewIssuer(0x5EA1)
+	check(err)
+	platform, err := sgx.NewPlatform("vm-machine", issuer, nil)
+	check(err)
+
+	logDir, err := os.MkdirTemp("", "vnfguard-sealed-log-")
+	check(err)
+	defer os.RemoveAll(logDir)
+	witnessRoot, err := os.MkdirTemp("", "vnfguard-sealed-witness-")
+	check(err)
+	defer os.RemoveAll(witnessRoot)
+	witnessDir, err := statedir.Open(witnessRoot)
+	check(err)
+
+	// The anchor chain under the VM's log: a co-located witness head
+	// (act 7's defence) plus the sealed monotonic counter.
+	anchors := func() []translog.TrustAnchor {
+		sealed, err := translog.NewSealedHeadAnchor(platform, vendor,
+			filepath.Join(logDir, translog.SealedHeadFileName), logKey)
+		check(err)
+		return []translog.TrustAnchor{
+			translog.NewWitnessAnchor(witnessDir, "w0", logKey),
+			sealed,
+		}
+	}
+	vmLog, err := translog.OpenDurableLog(signer, logDir, translog.StoreConfig{Anchors: anchors()})
+	check(err)
+	appendEntries := func(l *translog.Log, from, to int) {
+		var batch []translog.Entry
+		for i := from; i < to; i++ {
+			batch = append(batch, translog.Entry{
+				Type: translog.EntryAttestOK, Timestamp: time.Now().UnixMilli(),
+				Actor: fmt.Sprintf("host-%d", i), Detail: "appraisal OK",
+			})
+		}
+		_, err := l.AppendBatch(batch)
+		check(err)
+	}
+	appendEntries(vmLog, 0, 5)
+	// The attacker's snapshot: log statedir AND witness statedir, all
+	// self-consistent at size 5 (sealed blob included).
+	snapLog, err := snapshotFiles(logDir)
+	check(err)
+	snapWitness, err := snapshotFiles(witnessRoot)
+	check(err)
+	appendEntries(vmLog, 5, 8)
+	fmt.Printf("log grown to %d entries; every commit sealed under the monotonic counter\n", vmLog.Size())
+	check(vmLog.Close())
+
+	// Total amnesia: every file that remembered size 8 is rewound.
+	check(restoreFiles(logDir, snapLog))
+	check(restoreFiles(witnessRoot, snapWitness))
+
+	// Control: without the sealed anchor the rewind is invisible — the
+	// plain head check passes and the rewound witness agrees with the
+	// rewritten history.
+	blind, err := translog.OpenDurableLog(signer, logDir, translog.StoreConfig{
+		Anchors: []translog.TrustAnchor{translog.NewWitnessAnchor(witnessDir, "w0", logKey)},
+	})
+	if err != nil {
+		log.Fatalf("total-amnesia rewind should fool every filesystem memory: %v", err)
+	}
+	fmt.Printf("statedir + witness state rewound to size %d: disk-rooted anchors see nothing wrong\n", blind.Size())
+	check(blind.Close())
+
+	// With the sealed anchor, the open is refused: the counter in
+	// platform NV outlived the rewind.
+	_, err = translog.OpenDurableLog(signer, logDir, translog.StoreConfig{Anchors: anchors()})
+	if !errors.Is(err, translog.ErrSealedRollback) {
+		log.Fatalf("sealed anchor failed to convict the total-amnesia rewind: %v", err)
+	}
+	fmt.Printf("sealed-counter anchor: TOTAL-AMNESIA ROLLBACK refused at open ✓\n  %v\n", err)
+	fmt.Println("  no witness, no surviving file needed: the monotonic counter is the memory the attacker cannot rewind ✓")
 }
 
 func snapshotFiles(dir string) (map[string][]byte, error) {

@@ -1,0 +1,237 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"vnfguard/internal/epid"
+	"vnfguard/internal/simtime"
+)
+
+// counterSpec builds an enclave exposing the monotonic-counter API as
+// ECALLs, the way the translog sealed-head anchor uses it.
+func counterSpec(name, code string) EnclaveSpec {
+	s := echoSpec(name)
+	s.Modules[0].Code = []byte(code)
+	s.Modules[0].Handlers["bump"] = func(ctx *Context, args []byte) ([]byte, error) {
+		n, err := ctx.IncrementMonotonicCounter(string(args))
+		if err != nil {
+			return nil, err
+		}
+		return []byte{byte(n)}, nil
+	}
+	s.Modules[0].Handlers["read"] = func(ctx *Context, args []byte) ([]byte, error) {
+		n, ok := ctx.ReadMonotonicCounter(string(args))
+		if !ok {
+			return []byte{0xff}, nil
+		}
+		return []byte{byte(n)}, nil
+	}
+	return s
+}
+
+func TestMonotonicCounterAdvances(t *testing.T) {
+	p, _ := testPlatform(t)
+	e := launch(t, p, counterSpec("ctr", "counter code"), testSigner(t))
+	if got, err := e.ECall("read", []byte("c1")); err != nil || got[0] != 0xff {
+		t.Fatalf("fresh counter: got %v, %v", got, err)
+	}
+	for want := byte(1); want <= 3; want++ {
+		got, err := e.ECall("bump", []byte("c1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Fatalf("bump %d: got %d", want, got[0])
+		}
+	}
+	if got, _ := e.ECall("read", []byte("c1")); got[0] != 3 {
+		t.Fatalf("read after bumps: got %d", got[0])
+	}
+	// A second named counter is independent.
+	if got, _ := e.ECall("bump", []byte("c2")); got[0] != 1 {
+		t.Fatalf("independent counter: got %d", got[0])
+	}
+}
+
+// TestCounterNamespacedBySigner: enclaves from different vendors see
+// different counters under the same name (PSE access-policy model),
+// while a same-vendor upgrade (higher SVN) keeps its counters.
+func TestCounterNamespacedBySigner(t *testing.T) {
+	p, _ := testPlatform(t)
+	vendorA, vendorB := testSigner(t), testSigner(t)
+	a := launch(t, p, counterSpec("a", "shared code"), vendorA)
+	if got, _ := a.ECall("bump", []byte("c")); got[0] != 1 {
+		t.Fatalf("vendor A bump: got %d", got[0])
+	}
+	b := launch(t, p, counterSpec("b", "shared code"), vendorB)
+	if got, _ := b.ECall("read", []byte("c")); got[0] != 0xff {
+		t.Fatalf("vendor B sees vendor A's counter: %d", got[0])
+	}
+	upSpec := counterSpec("a2", "shared code v2")
+	upSpec.SVN = 3
+	up := launch(t, p, upSpec, vendorA)
+	if got, _ := up.ECall("read", []byte("c")); got[0] != 1 {
+		t.Fatalf("upgraded enclave lost its vendor counter: %d", got[0])
+	}
+}
+
+// TestNVFileSurvivesPlatformRestart: two platforms opened over the same
+// NV file are the same "machine" — counters persist and sealed blobs
+// from the first lifetime unseal in the second.
+func TestNVFileSurvivesPlatformRestart(t *testing.T) {
+	nvPath := filepath.Join(t.TempDir(), "sgx-nv.json")
+	issuer, err := epid.NewIssuer(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor := testSigner(t)
+	mkPlatform := func() *Platform {
+		p, err := NewPlatform("machine", issuer, simtime.ZeroCosts(), WithNVFile(nvPath))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	spec := counterSpec("nv", "nv enclave code")
+	spec.Modules[0].Handlers["seal"] = func(ctx *Context, args []byte) ([]byte, error) {
+		return ctx.Seal(SealToMRENCLAVE, args, []byte("nv-aad"))
+	}
+	spec.Modules[0].Handlers["unseal"] = func(ctx *Context, args []byte) ([]byte, error) {
+		return ctx.Unseal(args, []byte("nv-aad"))
+	}
+
+	p1 := mkPlatform()
+	e1 := launch(t, p1, spec, vendor)
+	if got, _ := e1.ECall("bump", []byte("c")); got[0] != 1 {
+		t.Fatalf("first-life bump: got %d", got[0])
+	}
+	blob, err := e1.ECall("seal", []byte("survives reboot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := mkPlatform() // the "reboot"
+	e2 := launch(t, p2, spec, vendor)
+	if got, _ := e2.ECall("read", []byte("c")); got[0] != 1 {
+		t.Fatalf("counter lost across restart: got %d", got[0])
+	}
+	if got, _ := e2.ECall("bump", []byte("c")); got[0] != 2 {
+		t.Fatalf("post-restart bump: got %d", got[0])
+	}
+	pt, err := e2.ECall("unseal", blob)
+	if err != nil {
+		t.Fatalf("unsealing across restart: %v", err)
+	}
+	if !bytes.Equal(pt, []byte("survives reboot")) {
+		t.Fatalf("unsealed %q", pt)
+	}
+
+	// A different NV file is a different machine: wrong sealing key.
+	p3, err := NewPlatform("other-machine", issuer, simtime.ZeroCosts(),
+		WithNVFile(filepath.Join(t.TempDir(), "other-nv.json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3 := launch(t, p3, spec, vendor)
+	if _, err := e3.ECall("unseal", blob); !errors.Is(err, ErrSealWrongKey) {
+		t.Fatalf("cross-machine unseal: got %v, want ErrSealWrongKey", err)
+	}
+}
+
+// TestNVFileMergesConcurrentWriters: two live platforms over one NV
+// file (unsupported but survivable) must not revert each other's
+// increments — each bump re-merges the on-disk image, so the counter
+// only ever moves forward.
+func TestNVFileMergesConcurrentWriters(t *testing.T) {
+	nvPath := filepath.Join(t.TempDir(), "shared-nv.json")
+	issuer, err := epid.NewIssuer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendor := testSigner(t)
+	spec := counterSpec("shared", "shared nv code")
+	mk := func() *Enclave {
+		p, err := NewPlatform("machine", issuer, simtime.ZeroCosts(), WithNVFile(nvPath))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return launch(t, p, spec, vendor)
+	}
+	a, b := mk(), mk()
+	// Interleave bumps from both stale-snapshot holders; the observed
+	// sequence must be strictly increasing with no lost updates.
+	var last byte
+	for i := 0; i < 3; i++ {
+		for _, e := range []*Enclave{a, b} {
+			got, err := e.ECall("bump", []byte("c"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != last+1 {
+				t.Fatalf("bump after %d: got %d (lost update)", last, got[0])
+			}
+			last = got[0]
+		}
+	}
+}
+
+// TestSealMRENCLAVESVNMapping pins the error-mapping fix: under
+// SealToMRENCLAVE an upgraded enclave (same measurement, higher SVN)
+// unseals older blobs, while a blob from a newer SVN is the distinct
+// ErrSealSVNRollback — not the ErrSealWrongKey that means "different
+// identity or machine".
+func TestSealMRENCLAVESVNMapping(t *testing.T) {
+	p, _ := testPlatform(t)
+	vendor := testSigner(t)
+	mk := func(svn uint16) EnclaveSpec {
+		s := echoSpec("svn-map")
+		s.SVN = svn
+		s.Modules[0].Handlers["seal"] = func(ctx *Context, args []byte) ([]byte, error) {
+			return ctx.Seal(SealToMRENCLAVE, args, nil)
+		}
+		s.Modules[0].Handlers["unseal"] = func(ctx *Context, args []byte) ([]byte, error) {
+			return ctx.Unseal(args, nil)
+		}
+		return s
+	}
+	old := launch(t, p, mk(1), vendor)
+	upgraded := launch(t, p, mk(2), vendor)
+
+	oldBlob, err := old.ECall("seal", []byte("v1 head"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := upgraded.ECall("unseal", oldBlob)
+	if err != nil {
+		t.Fatalf("upgraded enclave reading its old blob: %v", err)
+	}
+	if string(pt) != "v1 head" {
+		t.Fatalf("unsealed %q", pt)
+	}
+
+	newBlob, err := upgraded.ECall("seal", []byte("v2 head"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.ECall("unseal", newBlob); !errors.Is(err, ErrSealSVNRollback) {
+		t.Fatalf("downgraded enclave: got %v, want ErrSealSVNRollback", err)
+	}
+}
+
+func TestSealedCounterBlobRoundTrip(t *testing.T) {
+	in := SealedCounterBlob{Counter: 42, TreeSize: 1 << 20}
+	copy(in.RootHash[:], bytes.Repeat([]byte{0xab}, 32))
+	out, err := DecodeSealedCounterBlob(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := DecodeSealedCounterBlob(in.Encode()[:47]); err == nil {
+		t.Fatal("short blob decoded")
+	}
+}

@@ -11,4 +11,6 @@ const (
 	opSeal    = simtime.OpSeal
 	opUnseal  = simtime.OpUnseal
 	opPageIn  = simtime.OpPageIn
+	opCtrRead = simtime.OpCounterRead
+	opCtrBump = simtime.OpCounterBump
 )

@@ -26,6 +26,12 @@ type Platform struct {
 
 	model *simtime.CostModel
 
+	// nv is the platform's non-volatile store: monotonic counters and,
+	// when file-backed, the seed the root keys derive from (so one NV
+	// file = one "machine" across process restarts).
+	nv     *nvStore
+	nvPath string
+
 	qe *QuotingEnclave
 
 	mu           sync.Mutex
@@ -51,6 +57,20 @@ func WithCPUSVN(svn [16]byte) PlatformOption {
 	return func(p *Platform) { p.cpusvn = svn }
 }
 
+// WithNVFile backs the platform's non-volatile state (root-key seed and
+// monotonic counters) with a file, modeling one physical machine across
+// process restarts: the same NV file yields the same sealing keys and
+// the same counter values. The file stands in for fuses and flash — it
+// must live outside any statedir a rollback attacker is assumed to
+// control, or the counter's freshness guarantee collapses onto the disk
+// it is supposed to audit. Like the hardware it models, an NV file
+// belongs to one machine: give each concurrently running platform its
+// own file (counter updates merge defensively, but the single-writer
+// layout is the supported one).
+func WithNVFile(path string) PlatformOption {
+	return func(p *Platform) { p.nvPath = path }
+}
+
 // NewPlatform creates a platform whose quoting enclave is provisioned into
 // the issuer's EPID group (the manufacture-time provisioning flow). model
 // may be nil for zero-cost operation.
@@ -73,6 +93,20 @@ func NewPlatform(name string, issuer *epid.Issuer, model *simtime.CostModel, opt
 	p.cpusvn[0] = 2 // baseline CPUSVN
 	for _, o := range opts {
 		o(p)
+	}
+	if p.nvPath != "" {
+		nv, err := openNV(p.nvPath)
+		if err != nil {
+			return nil, err
+		}
+		p.nv = nv
+		// File-backed NV carries the machine identity: derive the root
+		// keys from the persisted seed so sealed blobs survive process
+		// restarts, exactly as fused keys survive reboots.
+		p.rootSeal = deriveRoot(nv.seed, "nv-root-seal")
+		p.rootReport = deriveRoot(nv.seed, "nv-root-report")
+	} else {
+		p.nv = newMemNV()
 	}
 	member, err := issuer.Join()
 	if err != nil {
@@ -108,6 +142,15 @@ func (p *Platform) EPCUsedPages() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.epcUsedPages
+}
+
+// deriveRoot expands the NV seed into one of the platform root keys.
+func deriveRoot(seed []byte, label string) [32]byte {
+	mac := hmac.New(sha256.New, seed)
+	mac.Write([]byte(label))
+	var k [32]byte
+	copy(k[:], mac.Sum(nil))
+	return k
 }
 
 // reportKey derives the report key of an enclave identified by mrenclave,

@@ -55,7 +55,12 @@ func (c *Context) Seal(policy SealPolicy, plaintext, aad []byte) ([]byte, error)
 
 // Unseal decrypts a blob sealed by (a compatible version of) this enclave.
 // Charges OpUnseal. Blobs sealed at a higher SVN than the caller's are
-// rejected (anti-rollback).
+// rejected with ErrSealSVNRollback under either policy (anti-rollback:
+// the caller is the downgraded party). Blobs sealed at a lower SVN
+// unseal under both policies — MRSIGNER keys take the blob's SVN as a
+// derivation input, and MRENCLAVE keys never depended on the SVN — so
+// "enclave upgraded, old statedir" stays readable and distinguishable
+// from "statedir copied to another machine" (ErrSealWrongKey).
 func (c *Context) Unseal(blob, aad []byte) ([]byte, error) {
 	c.e.platform.charge(opUnseal)
 	if len(blob) < sealHeaderLen+12 {
@@ -67,11 +72,8 @@ func (c *Context) Unseal(blob, aad []byte) ([]byte, error) {
 	}
 	blobSVN := binary.LittleEndian.Uint16(blob[1:3])
 	id := c.e.identity
-	if policy == SealToMRSIGNER && blobSVN > id.ISVSVN {
+	if blobSVN > id.ISVSVN {
 		return nil, ErrSealSVNRollback
-	}
-	if policy == SealToMRENCLAVE && blobSVN != id.ISVSVN {
-		return nil, ErrSealWrongKey
 	}
 	key := c.e.platform.sealKey(policy, id.MRENCLAVE, id.MRSIGNER, id.ISVProdID, blobSVN)
 	aead, err := newSealAEAD(key)

@@ -55,12 +55,22 @@ const (
 	// OpIMAMeasure is one IMA file measurement (hash + list append) as
 	// performed by the kernel on exec/open.
 	OpIMAMeasure
+	// OpCounterRead is a monotonic-counter read by an enclave.
+	OpCounterRead
+	// OpCounterBump is a monotonic-counter increment by an enclave. The
+	// modeled cost is that of a fast replay-protected counter service
+	// (ROTE-style distributed counters / SGXv2-era virtual counters),
+	// not Intel's flash-backed PSE counters, whose 80–250 ms increments
+	// would dominate every sealed commit; deployments that need the PSE
+	// shape can Set() it explicitly.
+	OpCounterBump
 	numOps
 )
 
 var opNames = [numOps]string{
 	"ecall", "ocall", "ereport", "quote", "seal", "unseal",
 	"ias_round_trip", "tpm_extend", "tpm_quote", "page_in", "ima_measure",
+	"counter_read", "counter_bump",
 }
 
 // String returns the snake_case name of the operation.
@@ -100,6 +110,8 @@ func DefaultCosts() *CostModel {
 	m.costs[OpTPMQuote] = 300 * time.Millisecond
 	m.costs[OpPageIn] = 40 * time.Microsecond
 	m.costs[OpIMAMeasure] = 50 * time.Microsecond
+	m.costs[OpCounterRead] = 10 * time.Microsecond
+	m.costs[OpCounterBump] = 50 * time.Microsecond
 	return m
 }
 

@@ -2,6 +2,7 @@ package statedir
 
 import (
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -90,6 +91,65 @@ func TestParseKeyPEMErrors(t *testing.T) {
 	}
 	if _, err := ParsePubPEM([]byte("garbage")); err == nil {
 		t.Fatal("garbage pub accepted")
+	}
+}
+
+// TestMatch covers the discovery half of the rendezvous: patterns find
+// exactly the matching entries, sorted, and a bad pattern errors
+// instead of silently matching nothing.
+func TestMatch(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		WitnessURLFile("w1"), WitnessURLFile("w0"), WitnessURLFile("w2"),
+		"witness-w0-head.json", // head files must not match the URL pattern
+		HostInfoFile("host-a"),
+		"unrelated.txt",
+	} {
+		if err := d.Write(name, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := d.Match(WitnessURLPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"witness-w0.url", "witness-w1.url", "witness-w2.url"}
+	if len(got) != len(want) {
+		t.Fatalf("Match(%q) = %v, want %v", WitnessURLPattern, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Match(%q)[%d] = %q, want %q (sorted)", WitnessURLPattern, i, got[i], want[i])
+		}
+	}
+	if none, err := d.Match("host-zzz-*.json"); err != nil || len(none) != 0 {
+		t.Fatalf("non-matching pattern: got %v, %v", none, err)
+	}
+	if _, err := d.Match("["); err == nil {
+		t.Fatal("malformed pattern accepted")
+	}
+}
+
+// TestWellKnownEntryNames pins the naming helpers the rendezvous relies
+// on: a witness URL file round-trips through the discovery pattern and
+// never collides with the witness's persisted-head entry.
+func TestWellKnownEntryNames(t *testing.T) {
+	if got := WitnessURLFile("w7"); got != "witness-w7.url" {
+		t.Fatalf("WitnessURLFile = %q", got)
+	}
+	if got := HostInfoFile("host-b"); got != "host-host-b.json" {
+		t.Fatalf("HostInfoFile = %q", got)
+	}
+	ok, err := filepath.Match(WitnessURLPattern, WitnessURLFile("any"))
+	if err != nil || !ok {
+		t.Fatalf("WitnessURLFile does not match WitnessURLPattern: %v %v", ok, err)
+	}
+	ok, err = filepath.Match(WitnessURLPattern, "witness-any-head.json")
+	if err != nil || ok {
+		t.Fatal("witness head file matches the URL pattern — discovery would gossip with a head file")
 	}
 }
 

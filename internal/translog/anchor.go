@@ -1,0 +1,250 @@
+// Trust anchors: the pluggable layer rollback protection hangs off.
+//
+// A durable log's recovery can replay and checksum its WAL, but "is
+// this the *newest* committed state?" can only be answered by a memory
+// the attacker could not rewrite alongside the statedir. Each such
+// memory is a TrustAnchor: the store's own persisted signed tree head
+// (catches rewinds that disagree with it), a witness's persisted head
+// (catches consistent rewinds of segments + head together, as long as
+// the witness state survives), and an enclave-sealed monotonic head
+// (sealed.go — catches even a total-amnesia rewind where the disk and
+// every witness lost state together, because the counter lives in
+// platform hardware). OpenDurableLog runs every configured anchor at
+// recovery and notifies every anchor of each committed head, so future
+// anchors (TPM NV, remote notary) slot in without another recovery
+// rewrite.
+package translog
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"vnfguard/internal/statedir"
+)
+
+// RecoveredState is the replayed-and-verified view of a store's disk
+// state handed to each trust anchor at open: the durable entry count
+// and the recomputed Merkle roots over it. Anchors compare it against
+// whatever head they remember.
+type RecoveredState struct {
+	// Size is the number of durable, decodable entries on disk.
+	Size uint64
+	// Segments counts the segment files found on disk — distinct from
+	// Size because a torn first record decodes to zero entries while
+	// the file's existence still proves a genesis head was once
+	// persisted.
+	Segments int
+	// rootAt recomputes the Merkle root over the first n entries.
+	rootAt func(n uint64) (Hash, error)
+}
+
+// RootAt returns the recomputed Merkle root over the first n recovered
+// entries (n ≤ Size).
+func (s *RecoveredState) RootAt(n uint64) (Hash, error) { return s.rootAt(n) }
+
+// TrustAnchor is one independently rooted memory of the log's newest
+// committed head. Implementations must refuse (CheckRecovery error) any
+// recovered state older than — or contradicting — what they remember,
+// and must remember every head the store commits. CommitHead is called
+// under the store's commit lock, after the batch's records are durable,
+// in the order anchors were configured; an error latches the store
+// failed, so a head no anchor recorded is never acknowledged.
+// Implementations that hold resources may also implement io.Closer;
+// the store closes them on Close.
+type TrustAnchor interface {
+	// Name identifies the anchor in errors and operator logs.
+	Name() string
+	// CheckRecovery verifies the recovered disk state against the
+	// anchor's remembered head. A nil error means the state is at least
+	// as new as everything this anchor remembers.
+	CheckRecovery(state *RecoveredState) error
+	// CommitHead records a newly committed signed tree head.
+	CommitHead(sth SignedTreeHead) error
+}
+
+// ---- plain statedir STH anchor --------------------------------------------
+
+// STHAnchor is the baseline anchor every durable store runs: the latest
+// signed tree head, atomically persisted as sth.json in the store
+// directory. It catches crashes, torn writes and any rewind that
+// disagrees with the persisted head — but not a consistent rewind of
+// segments and head together, which is what the witness and sealed
+// anchors exist for.
+type STHAnchor struct {
+	dir    string
+	pub    *ecdsa.PublicKey
+	noSync bool
+
+	mu   sync.Mutex
+	sth  SignedTreeHead
+	have bool
+}
+
+// NewSTHAnchor returns the plain persisted-head anchor for a store
+// directory, verifying heads against the log public key.
+func NewSTHAnchor(dir string, pub *ecdsa.PublicKey) *STHAnchor {
+	return &STHAnchor{dir: dir, pub: pub}
+}
+
+// Name implements TrustAnchor.
+func (a *STHAnchor) Name() string { return "statedir-sth" }
+
+// CheckRecovery verifies the persisted head's signature and that the
+// recovered state covers (and hashes to) exactly what it signed.
+func (a *STHAnchor) CheckRecovery(state *RecoveredState) error {
+	sth, have, err := loadSTH(a.dir)
+	if err != nil {
+		return err
+	}
+	if !have {
+		if state.Segments > 0 {
+			// Segment files can only exist after the genesis head was
+			// persisted, so a missing head alongside them is deletion,
+			// not a fresh directory — even when every record in them
+			// was torn away.
+			return fmt.Errorf("%w: %d segment file(s) but no persisted tree head", ErrStateTampered, state.Segments)
+		}
+		return nil
+	}
+	if err := sth.Verify(a.pub); err != nil {
+		return fmt.Errorf("%w: persisted tree head signature invalid", ErrStateTampered)
+	}
+	if state.Size < sth.Size {
+		return fmt.Errorf("%w: %d durable entries but signed tree head covers %d",
+			ErrStateRollback, state.Size, sth.Size)
+	}
+	// Entries beyond the head (persisted but not yet headed when the
+	// process died) are legitimate, but the covered prefix must hash to
+	// exactly what was signed.
+	//
+	// Threat-model boundary: the beyond-head tail is authenticated only
+	// by its CRC framing, so an attacker with statedir write access
+	// could append well-formed records there and have recovery re-sign
+	// them. That attacker already holds the statedir's CA key in the
+	// multi-process deployment, so no local check can beat them;
+	// catching it needs a root of trust off this disk — the witness and
+	// sealed-counter anchors.
+	root, err := state.RootAt(sth.Size)
+	if err != nil {
+		return err
+	}
+	if root != sth.RootHash {
+		return fmt.Errorf("%w: recomputed root at size %d does not match persisted tree head",
+			ErrStateTampered, sth.Size)
+	}
+	a.mu.Lock()
+	a.sth, a.have = sth, true
+	a.mu.Unlock()
+	return nil
+}
+
+// CommitHead atomically replaces the persisted head file.
+func (a *STHAnchor) CommitHead(sth SignedTreeHead) error {
+	if err := persistSTHFile(a.dir, sth, a.noSync); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.sth, a.have = sth, true
+	a.mu.Unlock()
+	return nil
+}
+
+// Persisted returns the head loaded by CheckRecovery (or recorded by
+// the latest CommitHead) and whether one exists — the store's
+// resumption point.
+func (a *STHAnchor) Persisted() (SignedTreeHead, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sth, a.have
+}
+
+// ---- witness-head anchor --------------------------------------------------
+
+// WitnessAnchor anchors the log on a witness's persisted last-accepted
+// head — the same statedir entry a gossiping witness
+// (OpenWitnessState) keeps, so co-locating the log with one witness's
+// state costs nothing extra. Because the witness statedir is separate
+// from the log statedir, a consistent rewind of the log's segments and
+// sth.json together is still caught here — unless the witness state was
+// rewound too, which is the sealed anchor's job.
+type WitnessAnchor struct {
+	dir   *statedir.Dir
+	entry string
+	pub   *ecdsa.PublicKey
+
+	mu   sync.Mutex
+	last SignedTreeHead
+	seen bool
+}
+
+// NewWitnessAnchor returns an anchor persisting heads under witness
+// name in dir, verified against the log public key. A gossiping witness
+// opened later with the same dir and name (OpenWitnessState) restores
+// exactly the head this anchor recorded.
+func NewWitnessAnchor(dir *statedir.Dir, name string, pub *ecdsa.PublicKey) *WitnessAnchor {
+	return &WitnessAnchor{dir: dir, entry: WitnessHeadFile(name), pub: pub}
+}
+
+// Name implements TrustAnchor.
+func (a *WitnessAnchor) Name() string { return "witness-head" }
+
+// CheckRecovery verifies the recovered state against the persisted
+// witness head: the state must cover at least the remembered size and
+// hash to the remembered root at that size.
+func (a *WitnessAnchor) CheckRecovery(state *RecoveredState) error {
+	data, err := a.dir.Read(a.entry)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first run: nothing remembered yet
+	}
+	if err != nil {
+		return fmt.Errorf("translog: reading witness anchor head: %w", err)
+	}
+	var sth SignedTreeHead
+	if err := json.Unmarshal(data, &sth); err != nil {
+		return fmt.Errorf("%w: witness anchor head undecodable: %v", ErrStateCorrupt, err)
+	}
+	if err := sth.Verify(a.pub); err != nil {
+		return fmt.Errorf("%w: witness anchor head signature invalid", ErrStateTampered)
+	}
+	if state.Size < sth.Size {
+		return fmt.Errorf("%w: %d durable entries but witness anchor remembers a signed head covering %d",
+			ErrStateRollback, state.Size, sth.Size)
+	}
+	root, err := state.RootAt(sth.Size)
+	if err != nil {
+		return err
+	}
+	if root != sth.RootHash {
+		return fmt.Errorf("%w: recomputed root at size %d does not match witness anchor head",
+			ErrStateTampered, sth.Size)
+	}
+	a.mu.Lock()
+	a.last, a.seen = sth, true
+	a.mu.Unlock()
+	return nil
+}
+
+// CommitHead persists the newly committed head, never moving backwards.
+func (a *WitnessAnchor) CommitHead(sth SignedTreeHead) error {
+	a.mu.Lock()
+	if a.seen && sth.Size < a.last.Size {
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+	data, err := json.Marshal(sth)
+	if err != nil {
+		return err
+	}
+	if err := a.dir.Write(a.entry, data); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.last, a.seen = sth, true
+	a.mu.Unlock()
+	return nil
+}

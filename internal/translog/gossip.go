@@ -74,6 +74,7 @@ type GossipPool struct {
 	mu       sync.Mutex
 	peers    []*Client
 	conflict *ConflictError
+	jitter   JitterSource
 }
 
 // NewGossipPool builds a pool for witness w (named for evidence
@@ -235,11 +236,41 @@ func (g *GossipPool) Exchange() error {
 	return errors.Join(errs...)
 }
 
+// JitterSource yields uniform samples in [0, 1) for exchange-loop
+// jitter. Injectable so tests drive the loop deterministically instead
+// of sleeping through randomized intervals; nil means the global
+// math/rand source.
+type JitterSource func() float64
+
 // Jitter returns d scaled by a uniform factor in [0.8, 1.2), so a fleet
 // of witnesses started together does not synchronise its gossip rounds
 // into thundering herds against the log and each other.
 func Jitter(d time.Duration) time.Duration {
-	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+	return JitterFrom(d, nil)
+}
+
+// JitterFrom is Jitter with an explicit sample source (nil for the
+// global math/rand source).
+func JitterFrom(d time.Duration, src JitterSource) time.Duration {
+	if src == nil {
+		src = rand.Float64
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*src()))
+}
+
+// SetJitterSource replaces the loop's jitter source (nil restores the
+// global math/rand source). Call before Loop starts.
+func (g *GossipPool) SetJitterSource(src JitterSource) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.jitter = src
+}
+
+// jitterSource returns the configured source (possibly nil).
+func (g *GossipPool) jitterSource() JitterSource {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.jitter
 }
 
 // Loop exchanges gossip until stop is closed, sleeping a jittered
@@ -252,7 +283,7 @@ func (g *GossipPool) Loop(interval time.Duration, stop <-chan struct{}, report f
 		if report != nil {
 			report(err)
 		}
-		t := time.NewTimer(Jitter(interval))
+		t := time.NewTimer(JitterFrom(interval, g.jitterSource()))
 		select {
 		case <-stop:
 			t.Stop()

@@ -573,6 +573,30 @@ func TestJitterBounds(t *testing.T) {
 	}
 }
 
+// TestJitterFromDeterministic pins the injectable source: a fixed
+// sample yields an exact, reproducible interval — no randomized sleeps
+// in tests that drive the loop.
+func TestJitterFromDeterministic(t *testing.T) {
+	d := time.Second
+	for _, tc := range []struct {
+		sample float64
+		want   time.Duration
+	}{
+		{0, 800 * time.Millisecond},
+		{0.5, time.Second},
+		{0.999999, 1199999 * time.Microsecond},
+	} {
+		got := JitterFrom(d, func() float64 { return tc.sample })
+		if delta := got - tc.want; delta < -time.Microsecond || delta > time.Microsecond {
+			t.Fatalf("JitterFrom(%v, %v) = %v, want %v", d, tc.sample, got, tc.want)
+		}
+	}
+	// nil source falls back to the global one, inside the window.
+	if j := JitterFrom(d, nil); j < 800*time.Millisecond || j >= 1200*time.Millisecond {
+		t.Fatalf("nil-source jitter %v outside window", j)
+	}
+}
+
 // TestGossipLoopStops: the loop exits promptly when stop closes and
 // reports each round.
 func TestGossipLoopStops(t *testing.T) {
@@ -584,6 +608,9 @@ func TestGossipLoopStops(t *testing.T) {
 	logSrv := httptest.NewServer(Handler(l))
 	defer logSrv.Close()
 	p := NewGossipPool("looper", NewWitness(&key.PublicKey), NewClient(logSrv.URL, &key.PublicKey))
+	// A deterministic source pins each round's sleep to exactly 0.8×
+	// the interval — the loop's timing no longer depends on math/rand.
+	p.SetJitterSource(func() float64 { return 0 })
 	stop := make(chan struct{})
 	rounds := make(chan error, 16)
 	done := make(chan struct{})

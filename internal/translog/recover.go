@@ -5,22 +5,28 @@ import (
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
 
 // Recovery: opening a durable log replays every segment, truncates a torn
-// tail record, rebuilds the Merkle tree and serial index, and verifies
-// the recomputed root against the durably persisted signed tree head.
-// The persisted head is the local anchor of the same guarantee the
-// witness provides remotely — a statedir restored from an old snapshot
-// (rollback) or edited in place (tamper) produces a root that cannot
-// match the head, and the open refuses loudly instead of re-serving the
-// rewritten history.
+// tail record, rebuilds the Merkle tree and serial index, and then hands
+// the recovered state to the trust-anchor chain (anchor.go) for
+// verification. The built-in STHAnchor checks the recomputed root
+// against the durably persisted signed tree head — the local anchor of
+// the same guarantee the witness provides remotely — and any configured
+// extra anchors (witness head, enclave-sealed counter) check their own
+// independently rooted memories, so a statedir restored from an old
+// snapshot (rollback) or edited in place (tamper) is refused loudly by
+// whichever anchor still remembers the newer history.
 
 // recovered is the verified disk state handed from recovery to the Log.
 type recovered struct {
 	entries []Entry
+	// tree is the Merkle tree rebuilt over the recovered entries; the
+	// Log adopts it directly instead of hashing everything twice.
+	tree *tree
 	// sth is the persisted head when it covered exactly the recovered
 	// size; when the disk holds entries beyond the head (a crash between
 	// the record fsync and the head replacement) sthStale is true and the
@@ -33,34 +39,19 @@ type recovered struct {
 	hasTail   bool
 }
 
-// recoverDir replays and verifies the store directory. pub is the log's
-// tree-head verification key (the CA public key).
-func recoverDir(dir string, pub *ecdsa.PublicKey) (*recovered, error) {
-	sth, haveSTH, err := loadSTH(dir)
-	if err != nil {
-		return nil, err
-	}
+// recoverDir replays the store directory and verifies it against the
+// trust-anchor chain (the built-in sthAnchor first, then any extras).
+func recoverDir(dir string, sthAnchor *STHAnchor, extra []TrustAnchor) (*recovered, error) {
 	firsts, err := listSegments(dir)
 	if err != nil {
 		return nil, err
 	}
-	if !haveSTH {
-		if len(firsts) > 0 {
-			// Segments can only exist after the genesis head was
-			// persisted, so a missing head alongside data is deletion,
-			// not a fresh directory.
-			return nil, fmt.Errorf("%w: %d segment file(s) but no persisted tree head", ErrStateTampered, len(firsts))
-		}
-		return &recovered{sthStale: true}, nil
-	}
-	if err := sth.Verify(pub); err != nil {
-		return nil, fmt.Errorf("%w: persisted tree head signature invalid", ErrStateTampered)
-	}
 
-	rec := &recovered{sth: sth}
+	rec := &recovered{}
 	// tornPath defers the physical truncation of a torn tail until after
-	// the root-vs-head verification: an open that is about to be refused
-	// must not modify the store it refuses — it is incident evidence.
+	// every anchor accepted the state: an open that is about to be
+	// refused must not modify the store it refuses — it is incident
+	// evidence.
 	var tornPath string
 	var tornAt int64
 	for i, first := range firsts {
@@ -95,40 +86,28 @@ func recoverDir(dir string, pub *ecdsa.PublicKey) (*recovered, error) {
 		}
 	}
 
-	size := uint64(len(rec.entries))
-	if size < sth.Size {
-		return nil, fmt.Errorf("%w: %d durable entries but signed tree head covers %d",
-			ErrStateRollback, size, sth.Size)
-	}
-	// Verify the recomputed root at the head's size: entries beyond it
-	// (persisted but not yet headed when the process died) are legitimate,
-	// but the covered prefix must hash to exactly what was signed.
-	//
-	// Threat-model boundary: the beyond-head tail is authenticated only
-	// by its CRC framing, so an attacker with statedir write access could
-	// append well-formed records there and have recovery re-sign them.
-	// That attacker already holds the statedir's CA key in the
-	// multi-process deployment, so no local check can beat them; catching
-	// it needs a root of trust off this disk — the witness today, and the
-	// ROADMAP's tree-head gossip / enclave-sealed head next.
-	t := newTree()
+	rec.tree = newTree()
 	for _, e := range rec.entries {
-		t.append(LeafHash(e.Marshal()))
+		rec.tree.append(LeafHash(e.Marshal()))
 	}
-	root, err := t.rootAt(sth.Size)
-	if err != nil {
+	size := uint64(len(rec.entries))
+	state := &RecoveredState{Size: size, Segments: len(firsts), rootAt: rec.tree.rootAt}
+	if err := sthAnchor.CheckRecovery(state); err != nil {
 		return nil, err
 	}
-	if root != sth.RootHash {
-		return nil, fmt.Errorf("%w: recomputed root at size %d does not match persisted tree head",
-			ErrStateTampered, sth.Size)
+	for _, a := range extra {
+		if err := a.CheckRecovery(state); err != nil {
+			return nil, err
+		}
 	}
 	if tornPath != "" {
 		if err := os.Truncate(tornPath, tornAt); err != nil {
 			return nil, fmt.Errorf("translog: truncating torn tail: %w", err)
 		}
 	}
-	rec.sthStale = size != sth.Size
+	sth, have := sthAnchor.Persisted()
+	rec.sth = sth
+	rec.sthStale = !have || size != sth.Size
 	return rec, nil
 }
 
@@ -136,11 +115,15 @@ func recoverDir(dir string, pub *ecdsa.PublicKey) (*recovered, error) {
 // dir, signed by signer. It replays and verifies the existing disk state
 // first — see the package recovery notes — and refuses to open a rolled
 // back (ErrStateRollback), rewritten (ErrStateTampered) or damaged
-// (ErrStateCorrupt) store. Every committed batch is durably persisted
-// (records fsynced, latest signed tree head atomically replaced) before
-// AppendBatch returns, so the batched Appender amortises the fsync the
-// same way it amortises the tree-head signature. Close the returned log
-// to release the store.
+// (ErrStateCorrupt) store; extra trust anchors configured via
+// cfg.Anchors add their own refusals (a witness anchor re-raises
+// ErrStateRollback from its separate statedir, the sealed-counter
+// anchor raises ErrSealedRollback even when every file on disk was
+// rewound consistently). Every committed batch is durably persisted
+// (records fsynced, latest signed tree head atomically replaced, every
+// anchor updated) before AppendBatch returns, so the batched Appender
+// amortises the fsync the same way it amortises the tree-head
+// signature. Close the returned log to release the store and anchors.
 func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, error) {
 	pub, ok := signer.Public().(*ecdsa.PublicKey)
 	if !ok {
@@ -149,23 +132,38 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("translog: creating store dir: %w", err)
 	}
-	rec, err := recoverDir(dir, pub)
+	// Until a Store owns them, refusing or failing the open must still
+	// release anchors holding resources (a refused recovery is this
+	// feature's main path — it must not leak the sealed anchor's
+	// enclave).
+	closeAnchors := func() {
+		for _, a := range cfg.Anchors {
+			if c, ok := a.(io.Closer); ok {
+				c.Close()
+			}
+		}
+	}
+	sthAnchor := NewSTHAnchor(dir, pub)
+	sthAnchor.noSync = cfg.NoSync
+	rec, err := recoverDir(dir, sthAnchor, cfg.Anchors)
 	if err != nil {
+		closeAnchors()
 		return nil, err
 	}
-	store, err := openStoreDir(dir, cfg, uint64(len(rec.entries)), rec.tailFirst, rec.tailClean, rec.hasTail)
+	anchors := append([]TrustAnchor{sthAnchor}, cfg.Anchors...)
+	store, err := openStoreDir(dir, cfg, anchors, uint64(len(rec.entries)), rec.tailFirst, rec.tailClean, rec.hasTail)
 	if err != nil {
+		closeAnchors()
 		return nil, err
 	}
 
 	l := &Log{
 		signer:   signer,
-		tree:     newTree(),
+		tree:     rec.tree,
 		bySerial: make(map[string][]uint64),
 		revoked:  make(map[string]bool),
 	}
 	for i, e := range rec.entries {
-		l.tree.append(LeafHash(e.Marshal()))
 		if e.Serial != "" {
 			l.bySerial[e.Serial] = append(l.bySerial[e.Serial], uint64(i))
 			if e.Type == EntryRevoke {
@@ -175,27 +173,32 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 	}
 	l.entries = rec.entries
 	size := uint64(len(rec.entries))
+	sth := rec.sth
 	if rec.sthStale {
 		// Fresh store, or durable entries past the persisted head: sign
-		// (and persist) a head covering everything recovered.
+		// a head covering everything recovered.
 		root, err := l.tree.rootAt(size)
 		if err != nil {
 			store.Close()
 			return nil, err
 		}
-		sth, err := l.signHead(size, root)
+		sth, err = l.signHead(size, root)
 		if err != nil {
 			store.Close()
 			return nil, err
 		}
-		if err := store.persistSTH(sth); err != nil {
-			store.Close()
-			return nil, err
-		}
-		l.sth = sth
-	} else {
-		l.sth = rec.sth
 	}
+	// Re-commit the current head through the whole anchor chain even
+	// when it was not stale: a crash inside a previous commit can leave
+	// a later anchor (witness head, sealed counter) one batch behind
+	// sth.json, and a lagging sealed pin is a rollback window — a
+	// snapshot of the lagging state would pass every anchor. After any
+	// successful open, every anchor pins exactly the recovered head.
+	if err := store.commitHead(sth); err != nil {
+		store.Close()
+		return nil, err
+	}
+	l.sth = sth
 	l.store = store
 	return l, nil
 }

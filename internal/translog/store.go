@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -53,6 +54,11 @@ type StoreConfig struct {
 	// benchmarks that measure the non-durability costs; a production log
 	// without fsync can lose acknowledged entries on power failure.
 	NoSync bool
+	// Anchors are additional trust anchors layered over the built-in
+	// persisted-head check (anchor.go): each is verified against the
+	// recovered state at open and notified of every committed head, in
+	// order. Anchors that implement io.Closer are closed with the store.
+	Anchors []TrustAnchor
 }
 
 // Store is the write-ahead, append-only on-disk half of a durable Log:
@@ -64,6 +70,9 @@ type StoreConfig struct {
 type Store struct {
 	dir string
 	cfg StoreConfig
+	// anchors is the full trust-anchor chain, the built-in STHAnchor
+	// first: every committed head flows through each of them.
+	anchors []TrustAnchor
 
 	mu sync.Mutex
 	// active is the open tail segment (nil until the first append or
@@ -80,12 +89,13 @@ type Store struct {
 
 // openStoreDir creates the store directory and returns a Store positioned
 // at the given recovered size, resuming the segment at tailFirst (whose
-// intact length is tailClean) when one exists.
-func openStoreDir(dir string, cfg StoreConfig, size uint64, tailFirst uint64, tailClean int64, hasTail bool) (*Store, error) {
+// intact length is tailClean) when one exists. anchors is the verified
+// trust-anchor chain (built-in STHAnchor first).
+func openStoreDir(dir string, cfg StoreConfig, anchors []TrustAnchor, size uint64, tailFirst uint64, tailClean int64, hasTail bool) (*Store, error) {
 	if cfg.SegmentMaxBytes <= 0 {
 		cfg.SegmentMaxBytes = defaultSegmentMaxBytes
 	}
-	s := &Store{dir: dir, cfg: cfg, size: size}
+	s := &Store{dir: dir, cfg: cfg, anchors: anchors, size: size}
 	if hasTail {
 		path := filepath.Join(dir, segmentName(tailFirst))
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
@@ -97,11 +107,14 @@ func openStoreDir(dir string, cfg StoreConfig, size uint64, tailFirst uint64, ta
 	return s, nil
 }
 
-// appendBatch durably frames the batch payloads and then persists sth.
-// Ordering matters for crash consistency: records first (fsynced), tree
-// head second — a crash in between leaves extra durable entries beyond
-// the head, which recovery accepts and re-signs; the reverse order could
-// leave a head signing entries that were never written.
+// appendBatch durably frames the batch payloads and then commits sth to
+// every trust anchor. Ordering matters for crash consistency: records
+// first (fsynced), tree head second — a crash in between leaves extra
+// durable entries beyond the head, which recovery accepts and re-signs;
+// the reverse order could leave a head signing entries that were never
+// written. The anchor chain runs under the same lock, so a batch is
+// acknowledged only once every anchor (persisted head, witness head,
+// sealed counter) has recorded it.
 func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -122,11 +135,30 @@ func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
 		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
 		return s.failed
 	}
-	if err := s.persistSTH(sth); err != nil {
+	if err := s.commitHeadLocked(sth); err != nil {
 		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
 		return s.failed
 	}
 	s.size += uint64(len(payloads))
+	return nil
+}
+
+// commitHead runs the anchor chain for a head committed outside a batch
+// append (the open-time re-sign of a stale head).
+func (s *Store) commitHead(sth SignedTreeHead) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitHeadLocked(sth)
+}
+
+// commitHeadLocked records sth with every trust anchor, in order.
+// Callers hold s.mu.
+func (s *Store) commitHeadLocked(sth SignedTreeHead) error {
+	for _, a := range s.anchors {
+		if err := a.CommitHead(sth); err != nil {
+			return fmt.Errorf("translog: %s anchor: %w", a.Name(), err)
+		}
+	}
 	return nil
 }
 
@@ -201,41 +233,50 @@ func (s *Store) rotate(first uint64) error {
 	return nil
 }
 
-// persistSTH atomically replaces the durable tree head (tmp + fsync +
-// rename, the same discipline as statedir.Dir.Write plus durability).
-func (s *Store) persistSTH(sth SignedTreeHead) error {
+// persistSTHFile atomically replaces the durable tree head. It is the
+// STHAnchor's persistence primitive.
+func persistSTHFile(dir string, sth SignedTreeHead, noSync bool) error {
 	data, err := json.Marshal(sth)
 	if err != nil {
 		return fmt.Errorf("translog: encoding tree head: %w", err)
 	}
-	path := filepath.Join(s.dir, sthFileName)
+	return atomicWriteFile(filepath.Join(dir, sthFileName), data, !noSync)
+}
+
+// atomicWriteFile replaces path with data using the crash-safe write
+// discipline shared by every durable file in a store (tmp + write +
+// fsync + rename + dir sync, statedir.Dir.Write plus durability):
+// readers see either the old contents or the new, a crash never
+// surfaces a partial file, and with sync the replacement itself is
+// durable before the call returns.
+func atomicWriteFile(path string, data []byte, sync bool) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
-		return fmt.Errorf("translog: writing tree head: %w", err)
+		return fmt.Errorf("translog: writing %s: %w", filepath.Base(path), err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("translog: writing tree head: %w", err)
+		return fmt.Errorf("translog: writing %s: %w", filepath.Base(path), err)
 	}
-	if !s.cfg.NoSync {
+	if sync {
 		if err := f.Sync(); err != nil {
 			f.Close()
 			os.Remove(tmp)
-			return fmt.Errorf("translog: fsync tree head: %w", err)
+			return fmt.Errorf("translog: fsync %s: %w", filepath.Base(path), err)
 		}
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("translog: closing tree head: %w", err)
+		return fmt.Errorf("translog: closing %s: %w", filepath.Base(path), err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("translog: replacing tree head: %w", err)
+		return fmt.Errorf("translog: replacing %s: %w", filepath.Base(path), err)
 	}
-	if !s.cfg.NoSync {
-		return syncDir(s.dir)
+	if sync {
+		return syncDir(filepath.Dir(path))
 	}
 	return nil
 }
@@ -267,27 +308,38 @@ func (s *Store) Size() uint64 {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Close fsyncs and closes the active segment. A closed store latches
-// failed, so a stray later append errors instead of silently forking a
-// new segment.
+// Close fsyncs and closes the active segment and releases any anchors
+// holding resources. A closed store latches failed, so a stray later
+// append errors instead of silently forking a new segment.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed == nil {
 		s.failed = fmt.Errorf("%w: store closed", ErrStoreFailed)
 	}
+	var err error
+	for _, a := range s.anchors {
+		if c, ok := a.(io.Closer); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
 	if s.active == nil {
-		return nil
+		return err
 	}
 	f := s.active
 	s.active = nil
 	if !s.cfg.NoSync {
-		if err := f.Sync(); err != nil {
+		if serr := f.Sync(); serr != nil {
 			f.Close()
-			return fmt.Errorf("translog: fsync segment: %w", err)
+			return fmt.Errorf("translog: fsync segment: %w", serr)
 		}
 	}
-	return f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // syncDir fsyncs a directory so renames and file creations within it are

@@ -16,6 +16,7 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -111,6 +112,17 @@ type Config struct {
 	LogDir string
 	// LogStore tunes the durable store when LogDir is set.
 	LogStore translog.StoreConfig
+	// SealLog, when non-nil (and the Manager opens a durable log via
+	// LogDir), anchors the log's newest signed tree head in an
+	// enclave-sealed, monotonic-counter-stamped blob on this SGX
+	// platform — the Manager's own enclave-rooted freshness memory. A
+	// statedir rewound consistently (segments, sth.json and even every
+	// witness's persisted head together) then still refuses to open,
+	// with translog.ErrSealedRollback, because the counter in platform
+	// NV outlives the disk. The anchor enclave is signed with the VM's
+	// long-term key, whose MRSIGNER namespaces the counter — supply the
+	// same Key across restarts (deployments load it from the statedir).
+	SealLog *sgx.Platform
 }
 
 // hostRecord tracks one registered host.
@@ -205,7 +217,24 @@ func New(cfg Config) (*Manager, error) {
 	if tlog == nil {
 		var err error
 		if cfg.LogDir != "" {
-			tlog, err = translog.OpenDurableLog(ca.Signer(), cfg.LogDir, cfg.LogStore)
+			store := cfg.LogStore
+			if cfg.SealLog != nil {
+				// The anchor enclave is signed with the VM's long-term
+				// key; the sealed blob binds (AAD) to the CA key that
+				// signs tree heads, so it can never vouch for another
+				// log's freshness. The anchor rides the store's anchor
+				// chain: sealed on every committed batch, checked at
+				// every open, closed with the log (OpenDurableLog
+				// releases it on refused opens too).
+				sealed, serr := translog.NewSealedHeadAnchor(cfg.SealLog, key,
+					filepath.Join(cfg.LogDir, translog.SealedHeadFileName),
+					ca.Certificate().PublicKey.(*ecdsa.PublicKey))
+				if serr != nil {
+					return nil, fmt.Errorf("verifier: launching sealed-head anchor: %w", serr)
+				}
+				store.Anchors = append(append([]translog.TrustAnchor(nil), store.Anchors...), sealed)
+			}
+			tlog, err = translog.OpenDurableLog(ca.Signer(), cfg.LogDir, store)
 			ownsLog = true
 		} else {
 			tlog, err = translog.NewLog(ca.Signer())
