@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -839,6 +840,80 @@ func BenchmarkE15SealedRecovery(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkE16ShardedAppend measures the per-host sharded appender
+// against the single batched appender as the producing host count grows
+// (1/4/16 hosts hammering concurrently, durable WAL underneath in both
+// cases). The single appender funnels every host through one mutex and
+// one ≤256-entry commit pipeline — per batch: one serial hash pass, one
+// tree-head signature, one fsync, one anchor bump. The sharded appender
+// buffers per host, prepares its merged cycles on every core, commits
+// up to hosts×256 entries under ONE signature/head/anchor bump, and
+// fans the records out to per-host WAL streams whose fsyncs overlap.
+// Targets: ≥3x aggregate throughput at 16 hosts vs the single appender,
+// and a per-entry durable cost within 1.5x of E13's single-producer
+// durable appender.
+func BenchmarkE16ShardedAppend(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	// Interned label tables: the benchmark measures the log, not the
+	// per-entry fmt.Sprintf a naive harness would pay.
+	var actors, hostNames [64]string
+	for i := range actors {
+		actors[i] = fmt.Sprintf("fw-%d", i)
+		hostNames[i] = fmt.Sprintf("host-%d", i)
+	}
+	run := func(b *testing.B, l *translog.Log, ap translog.EntryAppender, hosts int) {
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for h := 0; h < hosts; h++ {
+			wg.Add(1)
+			go func(h int) {
+				defer wg.Done()
+				host := hostNames[h]
+				for i := h; i < b.N; i += hosts {
+					e := translog.Entry{
+						Type: translog.EntryAttestOK, Timestamp: int64(1700000000000 + i),
+						Actor: actors[i%64], Host: host, Detail: "OK",
+					}
+					if err := ap.Append(e); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(h)
+		}
+		wg.Wait()
+		if err := ap.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if got := l.Size(); got != uint64(b.N) {
+			b.Fatalf("committed %d of %d entries", got, b.N)
+		}
+		if err := ap.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, hosts := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("hosts-%d/single-appender", hosts), func(b *testing.B) {
+			l, err := translog.OpenDurableLog(signer, b.TempDir(), translog.StoreConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			run(b, l, translog.NewAppender(l, translog.AppenderConfig{}), hosts)
+		})
+		b.Run(fmt.Sprintf("hosts-%d/sharded-16", hosts), func(b *testing.B) {
+			l, err := translog.OpenDurableLog(signer, b.TempDir(), translog.StoreConfig{Shards: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			run(b, l, translog.NewShardedAppender(l, translog.ShardedAppenderConfig{}), hosts)
 		})
 	}
 }

@@ -56,6 +56,7 @@ func main() {
 	gossipAddr := flag.String("gossip-addr", "127.0.0.1:0", "gossip listen address (monitor mode)")
 	peers := flag.String("peers", "", "comma-separated peer witness gossip URLs (monitor mode; default: discover via state dir)")
 	seal := flag.Bool("seal", false, "anchor the served log's tree head in an enclave-sealed monotonic counter (serve mode)")
+	shards := flag.Int("shards", 0, "per-host WAL shard count for the served log (serve mode; >1 splits the WAL into per-host segment streams; fixed at store creation)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-log-server.json", "platform NV file for -seal (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	flag.Parse()
@@ -68,7 +69,7 @@ func main() {
 		runMonitor(dir, *logURL, *name, *gossipAddr, *peers, *interval, *wait)
 		return
 	}
-	runServe(dir, *addr, *seal, *nvFile, *wait)
+	runServe(dir, *addr, *seal, *nvFile, *shards, *wait)
 }
 
 // caPublicKey loads the deployment's log verification key from the
@@ -89,7 +90,7 @@ func caPublicKey(dir *statedir.Dir, wait time.Duration) *ecdsa.PublicKey {
 	return pub
 }
 
-func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, wait time.Duration) {
+func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards int, wait time.Duration) {
 	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
 	if err != nil {
 		log.Fatalf("run `verification-manager -init` first: %v", err)
@@ -115,7 +116,12 @@ func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, wait tim
 	// the process only exits via log.Fatal, and every committed batch is
 	// already fsynced — recovery picks up from the durable state exactly
 	// as a crash would.
-	cfg := translog.StoreConfig{}
+	// With -shards the WAL splits into per-host segment streams (the
+	// appenders stamp each record with its global index), letting a fleet
+	// of producers land in parallel streams while every cycle still
+	// commits one signed tree head. The layout is fixed when the store is
+	// first created; reopening an existing store keeps its layout.
+	cfg := translog.StoreConfig{Shards: shards}
 	if seal {
 		caKey, err := statedir.ParseKeyPEM(caKeyPEM)
 		if err != nil {
@@ -147,6 +153,9 @@ func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, wait tim
 		log.Fatal(err)
 	}
 	sth := l.STH()
+	if shards > 1 {
+		log.Printf("per-host sharded WAL active: %d segment streams under one Merkle tree", shards)
+	}
 	log.Printf("transparency log serving at %s (tree size %d, recovered from %s)",
 		url, sth.Size, dir.Path(statedir.DirServerLog))
 	log.Fatal((&http.Server{Handler: translog.Handler(l)}).Serve(ln))

@@ -50,6 +50,7 @@ func main() {
 	requireTPM := flag.Bool("require-tpm", false, "appraisal policy demands TPM-rooted IML")
 	subKey := flag.String("subscription-key", "vnfguard-subscription", "IAS API key")
 	sealLog := flag.Bool("seal-log", false, "anchor the durable log's tree head in an enclave-sealed monotonic counter")
+	logShards := flag.Int("log-shards", 0, "per-host WAL shard count for the durable log (>1 gives each enrolled host its own segment stream and batches verdicts through the merging sequencer)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-vm.json", "platform NV file for -seal-log (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 		runInit(dir)
 		return
 	}
-	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *sealLog, *nvFile, *wait)
+	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *sealLog, *nvFile, *logShards, *wait)
 }
 
 // runInit publishes the deployment's trust anchors.
@@ -127,7 +128,7 @@ type hostInfo struct {
 	AIKPubDER     string `json:"aik_pub_der"`
 }
 
-func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, sealLog bool, nvFile string, wait time.Duration) {
+func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, sealLog bool, nvFile string, logShards int, wait time.Duration) {
 	model := simtime.DefaultCosts()
 
 	vmKeyPEM, err := dir.WaitFor(statedir.FileVMKey, wait)
@@ -196,14 +197,24 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 	vm, err := verifier.New(verifier.Config{
 		Name: "verification-manager", Key: vmKey, SPID: sgx.SPID{0x42},
 		IAS: iasClient, Policy: policy, CA: ca,
-		LogDir:  dir.Path(statedir.DirVMLog),
-		SealLog: sealPlatform,
+		LogDir:   dir.Path(statedir.DirVMLog),
+		LogStore: translog.StoreConfig{Shards: logShards},
+		SealLog:  sealPlatform,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if sealLog {
 		log.Printf("sealed-head anchor active: tree head pinned by enclave-sealed monotonic counter (NV: %s)", nvFile)
+	}
+	// Report the effective stream count: a store pinned its layout at
+	// creation, so a mismatched -log-shards keeps the original streams.
+	if n := vm.TransparencyLog().StoreShards(); n > 1 {
+		if n != logShards {
+			log.Printf("per-host sharded audit log active: %d WAL streams (pinned at store creation; -log-shards %d ignored)", n, logShards)
+		} else {
+			log.Printf("per-host sharded audit log active: %d WAL streams, verdicts batched through the merging sequencer", n)
+		}
 	}
 	log.Printf("durable transparency log open: %d entries recovered from %s",
 		vm.TransparencyLog().Size(), dir.Path(statedir.DirVMLog))
@@ -248,7 +259,11 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 			aik = pub
 		}
 		vm.RegisterHost(name, host.NewClient(info.AgentURL), aik)
-		log.Printf("registered host %s at %s", name, info.AgentURL)
+		if shard, ok := vm.LogShard(name); ok {
+			log.Printf("registered host %s at %s (audit entries -> log shard %d)", name, info.AgentURL, shard)
+		} else {
+			log.Printf("registered host %s at %s", name, info.AgentURL)
+		}
 
 		if learn {
 			if err := vm.LearnHostGolden(name); err != nil {

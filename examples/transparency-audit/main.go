@@ -242,6 +242,15 @@ func main() {
 	fmt.Println("--- sealed monotonic head: catching a TOTAL-amnesia rollback ---")
 	runSealedAct(d.VM.CA().Signer(), logKey)
 
+	// 9. Multi-VM scale: a fleet of hosts appends through the per-host
+	//    sharded appender — each host its own buffer and WAL stream, the
+	//    merging sequencer committing one tree head per cycle — and
+	//    recovery interleaves the streams back into the exact global
+	//    history a single-stream log would hold.
+	fmt.Println()
+	fmt.Println("--- per-host shards: one merged tree head for a fleet of hosts ---")
+	runShardedAct(d.VM.CA().Signer(), logKey)
+
 	fmt.Println()
 	fmt.Println("audit complete: every verdict provable, nothing taken on faith — not even across restarts")
 }
@@ -487,6 +496,81 @@ func runSealedAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
 	}
 	fmt.Printf("sealed-counter anchor: TOTAL-AMNESIA ROLLBACK refused at open ✓\n  %v\n", err)
 	fmt.Println("  no witness, no surviving file needed: the monotonic counter is the memory the attacker cannot rewind ✓")
+}
+
+// runShardedAct is the multi-VM scaling act. Eight hosts' agents append
+// attestation verdicts concurrently through the ShardedAppender: each
+// host's entries buffer behind that host's own lock and land in that
+// host's own WAL segment stream (seg-h<shard>-*.wal, records stamped
+// with their global index), while the merging sequencer commits every
+// cycle as ONE Merkle batch — one tree-head signature and one anchor
+// bump no matter how many hosts were ready. A restart then interleaves
+// the streams back into the global order, reproducing the exact root a
+// single-stream log over the same entries computes; deleting one host's
+// newest stream segment is still refused as a rollback of the whole log.
+func runShardedAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
+	dir, err := os.MkdirTemp("", "vnfguard-sharded-log-")
+	check(err)
+	defer os.RemoveAll(dir)
+	cfg := translog.StoreConfig{Shards: 8, SegmentMaxBytes: 4096}
+	l, err := translog.OpenDurableLog(signer, dir, cfg)
+	check(err)
+
+	sa := translog.NewShardedAppender(l, translog.ShardedAppenderConfig{MaxBatch: 128})
+	const hosts, perHost = 8, 200
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			host := fmt.Sprintf("host-%d", h)
+			for i := 0; i < perHost; i++ {
+				check(sa.Append(translog.Entry{
+					Type: translog.EntryAttestOK, Timestamp: time.Now().UnixMilli(),
+					Actor: fmt.Sprintf("fw-%d-%d", h, i), Host: host, Detail: "appraisal OK",
+				}))
+			}
+		}(h)
+	}
+	wg.Wait()
+	check(sa.Close())
+	grown := l.STH()
+	root, err := l.RootAt(l.Size())
+	check(err)
+	entries := l.Entries(0, l.Size())
+	check(l.Close())
+	streams, err := filepath.Glob(filepath.Join(dir, "seg-h*.wal"))
+	check(err)
+	fmt.Printf("%d hosts × %d verdicts appended concurrently: %d entries across %d per-host stream files, one signed head (size %d)\n",
+		hosts, perHost, len(entries), len(streams), grown.Size)
+
+	// Restart: the interleaved replay reproduces the exact single-stream
+	// history — same root a plain log computes over the same sequence.
+	re, err := translog.OpenDurableLog(signer, dir, cfg)
+	check(err)
+	reRoot, err := re.RootAt(re.Size())
+	check(err)
+	ref, err := translog.NewLog(signer)
+	check(err)
+	_, err = ref.AppendBatch(entries)
+	check(err)
+	refRoot, err := ref.RootAt(uint64(len(entries)))
+	check(err)
+	if reRoot != root || reRoot != refRoot {
+		log.Fatal("interleaved recovery diverged from the single-stream history")
+	}
+	check(re.Close())
+	fmt.Printf("restart interleaved %d streams back into the global order: root identical to a single-stream log ✓\n", len(streams))
+
+	// Per-host history is still globally protected: rewinding ONE host's
+	// stream refuses the whole log at open.
+	sort.Strings(streams)
+	check(os.Remove(streams[len(streams)-1]))
+	if _, err := translog.OpenDurableLog(signer, dir, cfg); errors.Is(err, translog.ErrStateRollback) {
+		fmt.Printf("one host's stream rewound: open refused ✓ (%v)\n", err)
+	} else {
+		log.Fatalf("single-stream rewind not convicted: %v", err)
+	}
 }
 
 func snapshotFiles(dir string) (map[string][]byte, error) {

@@ -4,6 +4,7 @@ import (
 	"crypto/ecdsa"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -126,6 +127,226 @@ func TestAnchorConformance(t *testing.T) {
 				t.Fatalf("matching state refused after refusals: %v", err)
 			}
 		})
+	}
+}
+
+// TestAnchorConformanceShardedStore runs all three anchors over a
+// sharded durable store: every anchor must behave over per-host segment
+// streams exactly as over the single stream — clean restarts accepted,
+// a whole-store rewind refused — because the anchors see recovered
+// sizes and roots, never the WAL layout.
+func TestAnchorConformanceShardedStore(t *testing.T) {
+	impls := []struct {
+		name    string
+		mk      func(t *testing.T, dir string, pub *ecdsa.PublicKey) func() []TrustAnchor
+		rewound error
+	}{
+		{"statedir-sth", func(t *testing.T, dir string, pub *ecdsa.PublicKey) func() []TrustAnchor {
+			// The built-in anchor alone: a *consistent* rewind fools it,
+			// so the conformance check uses a partial rewind (segments
+			// only) it must catch.
+			return func() []TrustAnchor { return nil }
+		}, ErrStateRollback},
+		{"witness-head", func(t *testing.T, dir string, pub *ecdsa.PublicKey) func() []TrustAnchor {
+			wd := testStatedir(t)
+			return func() []TrustAnchor {
+				return []TrustAnchor{NewWitnessAnchor(wd, "anchor", pub)}
+			}
+		}, ErrStateRollback},
+		{"sealed-counter", func(t *testing.T, dir string, pub *ecdsa.PublicKey) func() []TrustAnchor {
+			platform := testPlatform(t)
+			vendor := testSigner(t)
+			return func() []TrustAnchor {
+				a, err := NewSealedHeadAnchor(platform, vendor,
+					filepath.Join(dir, SealedHeadFileName), pub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return []TrustAnchor{a}
+			}
+		}, ErrSealedRollback},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			key := testSigner(t)
+			dir := t.TempDir()
+			mk := impl.mk(t, dir, &key.PublicKey)
+			cfg := func() StoreConfig {
+				return StoreConfig{Shards: 3, SegmentMaxBytes: 1024, Anchors: mk()}
+			}
+			l, err := OpenDurableLog(key, dir, cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, l, hostEntries(120, 5))
+			snap := snapshotDir(t, dir)
+			grownAt := l.Size()
+			appendAll(t, l, hostEntries(80, 5))
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Clean restart over the interleaved streams: accepted.
+			re, err := OpenDurableLog(key, dir, cfg())
+			if err != nil {
+				t.Fatalf("clean sharded restart refused: %v", err)
+			}
+			if re.Size() != 200 {
+				t.Fatalf("recovered %d entries, want 200", re.Size())
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The rewind: whole statedir back to the snapshot — for the
+			// plain anchor, segments only (a consistent rewind is the
+			// witness/sealed anchors' job, pinned below).
+			if impl.name == "statedir-sth" {
+				sthData, err := os.ReadFile(filepath.Join(dir, sthFileName))
+				if err != nil {
+					t.Fatal(err)
+				}
+				restoreDir(t, dir, snap)
+				if err := os.WriteFile(filepath.Join(dir, sthFileName), sthData, 0o600); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				restoreDir(t, dir, snap)
+			}
+			if _, err := OpenDurableLog(key, dir, cfg()); !errors.Is(err, impl.rewound) {
+				t.Fatalf("sharded rewind to size %d: got %v, want %v", grownAt, err, impl.rewound)
+			}
+		})
+	}
+}
+
+// TestSingleShardAmnesiaRewind is the sharded store's own attack: rewind
+// ONE host's segment stream together with sth.json (and the witness
+// state) to an earlier snapshot, leaving every other stream intact. The
+// result is byte-for-byte indistinguishable from a crash mid-cycle —
+// the other streams' newer records sit beyond the restored head with an
+// index gap where the rewound stream's records were — so the plain
+// anchor accepts it and recovery would trim the surviving history away.
+// A witness anchor whose statedir outlived the rewind, and the sealed
+// counter even when nothing else survived (total amnesia for that
+// shard), must still convict.
+func TestSingleShardAmnesiaRewind(t *testing.T) {
+	key := testSigner(t)
+	platform := testPlatform(t)
+	vendor := testSigner(t)
+	dir := t.TempDir()
+	witnessDir := testStatedir(t)
+
+	mkAnchors := func(sealed bool) []TrustAnchor {
+		anchors := []TrustAnchor{NewWitnessAnchor(witnessDir, "w0", &key.PublicKey)}
+		if sealed {
+			a, err := NewSealedHeadAnchor(platform, vendor,
+				filepath.Join(dir, SealedHeadFileName), &key.PublicKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			anchors = append(anchors, a)
+		}
+		return anchors
+	}
+	cfg := func(anchors []TrustAnchor) StoreConfig {
+		return StoreConfig{Shards: 2, SegmentMaxBytes: 512, Anchors: anchors}
+	}
+
+	l, err := OpenDurableLog(key, dir, cfg(mkAnchors(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostA, hostB := hostForShard(t, 2, 0), hostForShard(t, 2, 1)
+	grow := func(from, to int) {
+		var batch []Entry
+		for i := from; i < to; i++ {
+			host := hostA
+			if i%2 == 1 {
+				host = hostB
+			}
+			batch = append(batch, Entry{Type: EntryAttestOK, Timestamp: int64(i), Actor: fmt.Sprintf("fw-%d", i), Host: host, Detail: "OK"})
+		}
+		if _, err := l.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grow(0, 40)
+	snapLog := snapshotDir(t, dir)
+	snapWitness := snapshotDir(t, witnessDir.Path(""))
+	grow(40, 80)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The single-shard rewind: restore shard 0's segments, sth.json and
+	// the sealed blob from the snapshot; leave shard 1's stream at its
+	// grown state.
+	shardZeroRewind := func(witnessToo bool) {
+		for name, data := range snapLog {
+			if shard, _, ok := parseShardSegmentName(name); ok && shard != 0 {
+				continue
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o600); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Shard 0 segments created after the snapshot vanish in the
+		// rewind.
+		_, shardFirsts, err := listAllSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, first := range shardFirsts[0] {
+			name := shardSegmentName(0, first)
+			if _, ok := snapLog[name]; !ok {
+				if err := os.Remove(filepath.Join(dir, name)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if witnessToo {
+			restoreDir(t, witnessDir.Path(""), snapWitness)
+		}
+	}
+	shardZeroRewind(false)
+
+	// Sanity: with no anchors beyond the built-in head check, the rewind
+	// reads as an innocent crash mid-cycle — the open succeeds at the
+	// snapshot size. This is the gap the other anchors close; run it on
+	// a scratch copy so the trim does not disturb the evidence.
+	scratch := t.TempDir()
+	for name := range snapshotDir(t, dir) {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(scratch, name), data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	os.Remove(filepath.Join(scratch, SealedHeadFileName))
+	blind, err := OpenDurableLog(key, scratch, StoreConfig{Shards: 2, SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatalf("single-shard rewind should read as a crash to the plain anchor, got: %v", err)
+	}
+	if blind.Size() != 40 {
+		t.Fatalf("blind open recovered %d entries, want the rewound 40", blind.Size())
+	}
+	if err := blind.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The witness anchor's statedir survived: rollback convicted.
+	if _, err := OpenDurableLog(key, dir, cfg([]TrustAnchor{NewWitnessAnchor(witnessDir, "w0", &key.PublicKey)})); !errors.Is(err, ErrStateRollback) {
+		t.Fatalf("single-shard rewind with surviving witness state: got %v, want ErrStateRollback", err)
+	}
+
+	// Total amnesia: the witness state is rewound too. Only the counter
+	// in platform NV remembers — ErrSealedRollback.
+	shardZeroRewind(true)
+	if _, err := OpenDurableLog(key, dir, cfg(mkAnchors(true))); !errors.Is(err, ErrSealedRollback) {
+		t.Fatalf("single-shard total-amnesia rewind: got %v, want ErrSealedRollback", err)
 	}
 }
 

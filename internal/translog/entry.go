@@ -92,7 +92,17 @@ const entryVersion = 1
 // version ‖ type ‖ timestamp(8) ‖ len-prefixed actor, host, serial,
 // measurement, detail.
 func (e Entry) Marshal() []byte {
-	out := make([]byte, 0, 32+len(e.Actor)+len(e.Host)+len(e.Serial)+len(e.Measurement)+len(e.Detail))
+	return e.appendTo(make([]byte, 0, e.marshalledSize()))
+}
+
+// marshalledSize returns the exact canonical encoding length.
+func (e Entry) marshalledSize() int {
+	return 2 + 8 + 5*4 + len(e.Actor) + len(e.Host) + len(e.Serial) + len(e.Measurement) + len(e.Detail)
+}
+
+// appendTo appends the canonical encoding to out — the allocation-free
+// form batch committers use to marshal a whole cycle into one arena.
+func (e Entry) appendTo(out []byte) []byte {
 	out = append(out, entryVersion, byte(e.Type))
 	var u64 [8]byte
 	binary.BigEndian.PutUint64(u64[:], uint64(e.Timestamp))

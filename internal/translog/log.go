@@ -36,6 +36,58 @@ type SignedTreeHead struct {
 // of the CA key.
 const sthSigPrefix = "vnfguard-translog-sth-v1"
 
+// entryArena is the Log's committed-entry storage: the canonical
+// encodings concatenated in one byte arena plus a start-offset index.
+// Entries decode on read. Compared to a []Entry, the arena is
+// pointer-free — a multi-million-entry log no longer hands the garbage
+// collector millions of string headers to scan on every cycle, which
+// directly feeds the append throughput the sharded sequencer is built
+// for — and it holds the exact bytes the tree hashed, so a decode can
+// never disagree with the leaf.
+type entryArena struct {
+	data []byte
+	offs []uint64
+}
+
+// count returns the number of stored entries.
+func (a *entryArena) count() uint64 { return uint64(len(a.offs)) }
+
+// add appends one canonical encoding (copying it out of the caller's
+// buffer).
+func (a *entryArena) add(payload []byte) {
+	a.offs = append(a.offs, uint64(len(a.data)))
+	a.data = append(a.data, payload...)
+}
+
+// payload returns the stored canonical encoding of entry i.
+func (a *entryArena) payload(i uint64) []byte {
+	end := uint64(len(a.data))
+	if i+1 < uint64(len(a.offs)) {
+		end = a.offs[i+1]
+	}
+	return a.data[a.offs[i]:end]
+}
+
+// at decodes entry i. The arena only ever holds encodings produced by
+// Entry.Marshal or validated by recovery, so a decode failure is a
+// programming error, not a runtime condition.
+func (a *entryArena) at(i uint64) Entry {
+	e, err := UnmarshalEntry(a.payload(i))
+	if err != nil {
+		panic("translog: stored entry undecodable: " + err.Error())
+	}
+	return e
+}
+
+// truncate discards entries from n on — the rollback of a failed commit.
+func (a *entryArena) truncate(n uint64) {
+	if n >= a.count() {
+		return
+	}
+	a.data = a.data[:a.offs[n]]
+	a.offs = a.offs[:n]
+}
+
 // signingDigest is the SHA-256 the STH signature covers.
 func (sth SignedTreeHead) signingDigest() [sha256.Size]byte {
 	buf := make([]byte, 0, len(sthSigPrefix)+8+sha256.Size+8)
@@ -70,14 +122,19 @@ type Log struct {
 	store *Store
 
 	mu      sync.RWMutex
-	entries []Entry
+	entries entryArena
 	tree    *tree
 	sth     SignedTreeHead
-	// bySerial indexes entry positions by credential serial for the
-	// controller's O(1) credential lookups.
-	bySerial map[string][]uint64
+	// issuance maps a credential serial to the index of its latest
+	// issuance entry (enroll or provision), maintained on commit exactly
+	// like revoked — so a proof lookup is one map read plus the audit
+	// path, never a scan over the serial's history.
+	issuance map[string]uint64
 	// revoked marks serials with an EntryRevoke in the log.
 	revoked map[string]bool
+	// shardScratch is the reusable host→shard routing buffer for sharded
+	// stores, guarded by mu like every commit-path structure.
+	shardScratch []int
 }
 
 // NewLog creates a log whose tree heads are signed by signer (the
@@ -87,7 +144,7 @@ func NewLog(signer crypto.Signer) (*Log, error) {
 	l := &Log{
 		signer:   signer,
 		tree:     newTree(),
-		bySerial: make(map[string][]uint64),
+		issuance: make(map[string]uint64),
 		revoked:  make(map[string]bool),
 	}
 	sth, err := l.signHead(0, emptyRoot())
@@ -126,62 +183,106 @@ func (l *Log) AppendBatch(batch []Entry) ([]uint64, error) {
 	if len(batch) == 0 {
 		return nil, nil
 	}
-	hashes := make([]Hash, len(batch))
-	payloads := make([][]byte, len(batch))
-	for i, e := range batch {
-		payloads[i] = e.Marshal()
-		hashes[i] = LeafHash(payloads[i])
+	payloads, hashes := prepareEntries(batch, 1)
+	first, err := l.appendPrepared(batch, payloads, hashes)
+	if err != nil {
+		return nil, err
 	}
+	indices := make([]uint64, len(batch))
+	for i := range indices {
+		indices[i] = first + uint64(i)
+	}
+	return indices, nil
+}
+
+// appendPrepared commits entries whose canonical encodings and leaf
+// hashes were computed by the caller — the merging sequencer prepares
+// its large merged cycles on every core before funnelling them through
+// the log lock here. Returns the first committed index; the batch
+// occupies [first, first+len(batch)).
+func (l *Log) appendPrepared(batch []Entry, payloads [][]byte, hashes []Hash) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	first := uint64(len(l.entries))
-	l.entries = append(l.entries, batch...)
-	size := l.tree.append(hashes...)
+	first := l.entries.count()
+	for _, p := range payloads {
+		l.entries.add(p)
+	}
+	size := l.tree.appendParallel(hashes, prepareWorkers())
 	// The commit must be atomic: a failure after the tree grew would
 	// leave entries that a later head signs over but the serial indexes
 	// never saw — so roll the tree and entry list back on any error.
 	rollback := func() {
-		l.entries = l.entries[:first]
+		l.entries.truncate(first)
 		l.tree.truncate(first)
 	}
 	root, err := l.tree.rootAt(size)
 	if err != nil {
 		rollback()
-		return nil, err
+		return 0, err
 	}
 	sth, err := l.signHead(size, root)
 	if err != nil {
 		rollback()
-		return nil, err
+		return 0, err
 	}
 	if l.store != nil {
+		// A sharded store routes each record to its host's segment
+		// stream; the global index travels inside the record, assigned
+		// here under the same lock that orders the commits. The scratch
+		// is protected by that lock too.
+		var shardIdx []int
+		if n := l.store.shardCount(); n > 1 {
+			if cap(l.shardScratch) < len(batch) {
+				l.shardScratch = make([]int, len(batch))
+			}
+			shardIdx = l.shardScratch[:len(batch)]
+			for i, e := range batch {
+				shardIdx[i] = ShardOf(e.Host, n)
+			}
+		}
 		// Durability before visibility: the batch's records hit disk
 		// (fsynced) and the new head is atomically persisted before any
 		// reader can obtain a proof against it. A failed persist rolls
 		// the in-memory state back and latches the store failed, so the
 		// log never acknowledges an entry the disk may not hold.
-		if err := l.store.appendBatch(payloads, sth); err != nil {
+		if err := l.store.appendBatch(payloads, shardIdx, sth); err != nil {
 			rollback()
-			return nil, err
+			return 0, err
 		}
 	}
 	l.sth = sth
-	indices := make([]uint64, len(batch))
 	for i, e := range batch {
-		idx := first + uint64(i)
-		indices[i] = idx
-		if e.Serial != "" {
-			l.bySerial[e.Serial] = append(l.bySerial[e.Serial], idx)
-			if e.Type == EntryRevoke {
-				l.revoked[e.Serial] = true
-			}
-		}
+		l.indexEntry(e, first+uint64(i))
 	}
-	return indices, nil
+	return first, nil
+}
+
+// indexEntry maintains the serial-keyed lookup maps for one committed
+// entry. Callers hold l.mu (or own the log exclusively during recovery).
+func (l *Log) indexEntry(e Entry, idx uint64) {
+	if e.Serial == "" {
+		return
+	}
+	switch e.Type {
+	case EntryEnroll, EntryProvision:
+		l.issuance[e.Serial] = idx
+	case EntryRevoke:
+		l.revoked[e.Serial] = true
+	}
 }
 
 // Durable reports whether the log persists its state (OpenDurableLog).
 func (l *Log) Durable() bool { return l.store != nil }
+
+// StoreShards reports the durable store's per-host stream count — the
+// count pinned at store creation, whatever StoreConfig.Shards said at
+// this open. Zero for in-memory and single-stream logs.
+func (l *Log) StoreShards() int {
+	if l.store == nil {
+		return 0
+	}
+	return l.store.shardCount()
+}
 
 // Close releases the durable store, fsyncing the tail segment. It is a
 // no-op for in-memory logs and is safe to call more than once.
@@ -205,17 +306,17 @@ func (l *Log) STH() SignedTreeHead {
 func (l *Log) Size() uint64 {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return uint64(len(l.entries))
+	return l.entries.count()
 }
 
 // Entry returns the committed entry at index.
 func (l *Log) Entry(index uint64) (Entry, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if index >= uint64(len(l.entries)) {
+	if index >= l.entries.count() {
 		return Entry{}, ErrIndexRange
 	}
-	return l.entries[index], nil
+	return l.entries.at(index), nil
 }
 
 // Entries returns committed entries in [start, start+count), clamped to
@@ -223,7 +324,7 @@ func (l *Log) Entry(index uint64) (Entry, error) {
 func (l *Log) Entries(start, count uint64) []Entry {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	n := uint64(len(l.entries))
+	n := l.entries.count()
 	if start >= n || count == 0 {
 		return nil
 	}
@@ -231,7 +332,11 @@ func (l *Log) Entries(start, count uint64) []Entry {
 	if count < n-start {
 		end = start + count
 	}
-	return append([]Entry(nil), l.entries[start:end]...)
+	out := make([]Entry, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, l.entries.at(i))
+	}
+	return out
 }
 
 // InclusionProof returns the audit path for the entry at index in the
@@ -283,30 +388,25 @@ func (pb *ProofBundle) Verify(pub *ecdsa.PublicKey) error {
 // ProveSerial returns a proof bundle for the latest issuance entry
 // (enroll or provision) carrying the given credential serial, against the
 // current tree head. ErrNotLogged when the serial never appears;
-// ErrLogRevoked when the log records its revocation.
+// ErrLogRevoked when the log records its revocation. The lookup is one
+// map read — the issuance index is maintained on commit (and rebuilt on
+// recovery) rather than found by scanning entries, so the controller's
+// per-handshake cost does not grow with the log.
 func (l *Log) ProveSerial(serial string) (*ProofBundle, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if l.revoked[serial] {
 		return nil, ErrLogRevoked
 	}
-	var found *ProofBundle
-	for i := len(l.bySerial[serial]) - 1; i >= 0; i-- {
-		idx := l.bySerial[serial][i]
-		e := l.entries[idx]
-		if e.Type == EntryEnroll || e.Type == EntryProvision {
-			proof, err := l.tree.inclusionProof(idx, l.sth.Size)
-			if err != nil {
-				return nil, err
-			}
-			found = &ProofBundle{Index: idx, Entry: e, Proof: proof, STH: l.sth}
-			break
-		}
-	}
-	if found == nil {
+	idx, ok := l.issuance[serial]
+	if !ok {
 		return nil, fmt.Errorf("%w: serial %s", ErrNotLogged, serial)
 	}
-	return found, nil
+	proof, err := l.tree.inclusionProof(idx, l.sth.Size)
+	if err != nil {
+		return nil, err
+	}
+	return &ProofBundle{Index: idx, Entry: l.entries.at(idx), Proof: proof, STH: l.sth}, nil
 }
 
 // SerialRevoked reports whether the log holds an EntryRevoke for serial.

@@ -87,6 +87,66 @@ func (t *tree) append(hashes ...Hash) uint64 {
 	return uint64(len(t.levels[0]))
 }
 
+// appendParallel adds a large batch of leaf hashes with the interior
+// hashing fanned across workers. After n leaves level k always holds
+// exactly n>>k nodes, so the batch's new nodes at each level are a
+// contiguous data-parallel range computed from pairs one level down —
+// the same array sequential append builds, without its per-leaf spine
+// walk serialising the merged cycles the sequencer commits.
+func (t *tree) appendParallel(hashes []Hash, workers int) uint64 {
+	const chunk = 512
+	if workers <= 1 || len(hashes) < 2*chunk {
+		return t.append(hashes...)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.levels[0] = append(t.levels[0], hashes...)
+	for k := 0; len(t.levels[k])/2 > 0; k++ {
+		if k+1 >= len(t.levels) {
+			t.levels = append(t.levels, nil)
+		}
+		below := t.levels[k]
+		have := len(t.levels[k+1])
+		want := len(below) / 2
+		if want <= have {
+			continue
+		}
+		nodes := t.levels[k+1]
+		if cap(nodes) < want {
+			// Grow with doubling headroom in one shot — append's
+			// temp-slice growth would reallocate every batch.
+			grown := make([]Hash, want, max(want, 2*cap(nodes)))
+			copy(grown, nodes)
+			nodes = grown
+		} else {
+			nodes = nodes[:want]
+		}
+		if want-have < 2*chunk {
+			for i := have; i < want; i++ {
+				nodes[i] = nodeHash(below[2*i], below[2*i+1])
+			}
+		} else {
+			var wg sync.WaitGroup
+			for lo := have; lo < want; lo += chunk {
+				hi := lo + chunk
+				if hi > want {
+					hi = want
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						nodes[i] = nodeHash(below[2*i], below[2*i+1])
+					}
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		t.levels[k+1] = nodes
+	}
+	return uint64(len(t.levels[0]))
+}
+
 // truncate discards leaves beyond size n — the rollback of a failed
 // commit. Level k always holds exactly n>>k nodes for n leaves, so the
 // inverse of append is a per-level truncation.

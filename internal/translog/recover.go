@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 )
 
 // Recovery: opening a durable log replays every segment, truncates a torn
@@ -20,10 +21,26 @@ import (
 // independently rooted memories, so a statedir restored from an old
 // snapshot (rollback) or edited in place (tamper) is refused loudly by
 // whichever anchor still remembers the newer history.
+//
+// A sharded store replays one segment stream per host slot and
+// interleaves them back into the global order via the per-record global
+// index. Each stream gets the same refusals the single stream gets —
+// torn tails may only be at a stream's own end, interior damage is
+// corruption — and the crash window widens in one understood way: a
+// crash mid-cycle can land some streams' records and not others', so
+// the records beyond the persisted head may have index gaps. Recovery
+// keeps the longest contiguous prefix and treats everything past the
+// first gap as the torn tail it is; the anchors see the prefix, so a
+// "gap" that would cut into committed history is still refused as a
+// rollback before anything is touched.
 
 // recovered is the verified disk state handed from recovery to the Log.
 type recovered struct {
 	entries []Entry
+	// payloads holds each entry's canonical encoding exactly as the WAL
+	// replay produced it — the Log adopts these bytes directly, so
+	// recovery never re-marshals what it already read and validated.
+	payloads [][]byte
 	// tree is the Merkle tree rebuilt over the recovered entries; the
 	// Log adopts it directly instead of hashing everything twice.
 	tree *tree
@@ -33,30 +50,135 @@ type recovered struct {
 	// caller must sign a fresh head over the full recovered tree.
 	sth      SignedTreeHead
 	sthStale bool
-	// tail describes the segment appends resume into.
+	// shards is the layout found on disk (or configured for a fresh
+	// store): 0 for the single stream, else the per-host stream count.
+	shards int
+	// tails describes where appends resume: one entry for the single
+	// layout, shards entries otherwise.
+	tails []streamTail
+}
+
+// streamTail is one stream's resumption point.
+type streamTail struct {
+	// count is the number of records surviving in the stream.
+	count uint64
+	// tailFirst/tailClean locate the open tail segment and its intact
+	// length; hasTail is false for a stream with no segment files.
 	tailFirst uint64
 	tailClean int64
 	hasTail   bool
 }
 
-// recoverDir replays the store directory and verifies it against the
-// trust-anchor chain (the built-in sthAnchor first, then any extras).
-func recoverDir(dir string, sthAnchor *STHAnchor, extra []TrustAnchor) (*recovered, error) {
-	firsts, err := listSegments(dir)
+// trimOp is a deferred physical mutation of the store: recovery must not
+// modify a store it is about to refuse (it is incident evidence), so
+// torn-tail truncations and beyond-gap removals are collected and
+// applied only after every anchor accepted the state.
+type trimOp struct {
+	path     string
+	truncate int64 // truncate to this length...
+	remove   bool  // ...or remove the file entirely
+}
+
+func applyTrims(trims []trimOp) error {
+	for _, op := range trims {
+		if op.remove {
+			if err := os.Remove(op.path); err != nil {
+				return fmt.Errorf("translog: removing uncommitted segment: %w", err)
+			}
+			continue
+		}
+		if err := os.Truncate(op.path, op.truncate); err != nil {
+			return fmt.Errorf("translog: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// recoverDir replays the store directory — whichever layout it holds —
+// and verifies it against the trust-anchor chain (the built-in sthAnchor
+// first, then any extras).
+func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []TrustAnchor) (*recovered, error) {
+	if cfg.Shards > maxShardSlots {
+		return nil, fmt.Errorf("translog: %d shards exceeds the %d-slot segment naming limit", cfg.Shards, maxShardSlots)
+	}
+	firsts, shardFirsts, err := listAllSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(firsts) > 0 && len(shardFirsts) > 0 {
+		return nil, fmt.Errorf("%w: store holds both single-stream and sharded segments", ErrStateCorrupt)
+	}
+	metaShards, haveMeta, err := loadShardCount(dir)
+	if err != nil {
+		return nil, err
+	}
+	var rec *recovered
+	var trims []trimOp
+	var segments int
+	switch {
+	case haveMeta:
+		// The pinned count from store creation wins over whatever
+		// cfg.Shards says today: the layout — and the host→stream
+		// routing — is fixed for the store's lifetime.
+		if len(firsts) > 0 {
+			return nil, fmt.Errorf("%w: single-stream segments in a store pinned to %d shards", ErrStateCorrupt, metaShards)
+		}
+		rec, trims, segments, err = recoverSharded(dir, metaShards, shardFirsts)
+	case len(shardFirsts) > 0 || (len(firsts) == 0 && cfg.Shards > 1):
+		nShards := cfg.Shards
+		if nShards <= 1 {
+			nShards = 2 // layout is sharded regardless of what cfg says now
+		}
+		for shard := range shardFirsts {
+			if shard >= nShards {
+				nShards = shard + 1
+			}
+		}
+		rec, trims, segments, err = recoverSharded(dir, nShards, shardFirsts)
+	default:
+		rec, trims, segments, err = recoverSingle(dir, firsts)
+	}
 	if err != nil {
 		return nil, err
 	}
 
-	rec := &recovered{}
-	// tornPath defers the physical truncation of a torn tail until after
-	// every anchor accepted the state: an open that is about to be
-	// refused must not modify the store it refuses — it is incident
-	// evidence.
-	var tornPath string
-	var tornAt int64
+	rec.tree = newTree()
+	for _, p := range rec.payloads {
+		rec.tree.append(LeafHash(p))
+	}
+	size := uint64(len(rec.entries))
+	state := &RecoveredState{Size: size, Segments: segments, rootAt: rec.tree.rootAt}
+	if err := sthAnchor.CheckRecovery(state); err != nil {
+		return nil, err
+	}
+	for _, a := range extra {
+		if err := a.CheckRecovery(state); err != nil {
+			return nil, err
+		}
+	}
+	// Physical mutations only after every anchor accepted: trim the torn
+	// material, and pin a freshly created sharded layout's stream count.
+	if err := applyTrims(trims); err != nil {
+		return nil, err
+	}
+	if rec.shards > 0 && !haveMeta {
+		if err := saveShardCount(dir, rec.shards, cfg.NoSync); err != nil {
+			return nil, err
+		}
+	}
+	sth, have := sthAnchor.Persisted()
+	rec.sth = sth
+	rec.sthStale = !have || size != sth.Size
+	return rec, nil
+}
+
+// recoverSingle replays the legacy single-stream layout.
+func recoverSingle(dir string, firsts []uint64) (*recovered, []trimOp, int, error) {
+	rec := &recovered{shards: 0}
+	var trims []trimOp
 	for i, first := range firsts {
 		if first != uint64(len(rec.entries)) {
-			return nil, fmt.Errorf("%w: segment %s starts at %d, want %d",
+			return nil, nil, 0, fmt.Errorf("%w: segment %s starts at %d, want %d",
 				ErrStateCorrupt, segmentName(first), first, len(rec.entries))
 		}
 		path := filepath.Join(dir, segmentName(first))
@@ -67,48 +189,185 @@ func recoverDir(dir string, sthAnchor *STHAnchor, extra []TrustAnchor) (*recover
 		case errors.Is(err, errTornTail) && last:
 			// A crash mid-append leaves a partial final record; cut it
 			// (after verification) so appends resume on a frame boundary.
-			tornPath, tornAt = path, int64(clean)
+			trims = append(trims, trimOp{path: path, truncate: int64(clean)})
 		case errors.Is(err, errTornTail):
-			return nil, fmt.Errorf("%w: segment %s ends mid-record but is not the tail",
+			return nil, nil, 0, fmt.Errorf("%w: segment %s ends mid-record but is not the tail",
 				ErrStateCorrupt, segmentName(first))
 		default:
-			return nil, err
+			return nil, nil, 0, err
 		}
 		for _, p := range payloads {
 			e, err := UnmarshalEntry(p)
 			if err != nil {
-				return nil, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, len(rec.entries), err)
+				return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, len(rec.entries), err)
 			}
 			rec.entries = append(rec.entries, e)
+			rec.payloads = append(rec.payloads, p)
 		}
 		if last {
-			rec.tailFirst, rec.tailClean, rec.hasTail = first, int64(clean), true
+			rec.tails = []streamTail{{
+				count: uint64(len(rec.entries)), tailFirst: first, tailClean: int64(clean), hasTail: true,
+			}}
+		}
+	}
+	if rec.tails == nil {
+		rec.tails = []streamTail{{}}
+	}
+	return rec, trims, len(firsts), nil
+}
+
+// shardRecord is one decoded sharded record, located precisely enough to
+// trim everything from it onward out of its stream.
+type shardRecord struct {
+	index   uint64
+	entry   Entry
+	payload []byte // the entry's canonical encoding as replayed
+	shard   int
+	// seg is the position of the record's segment in the shard's sorted
+	// segment list; off is the record's byte offset within that segment.
+	seg int
+	off int64
+}
+
+// recoverSharded replays every per-host stream and interleaves the
+// records back into the global order. nShards is the store's pinned (or
+// derived) stream count.
+func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64) (*recovered, []trimOp, int, error) {
+	for shard := range shardFirsts {
+		if shard >= nShards {
+			return nil, nil, 0, fmt.Errorf("%w: segment stream %d in a store with %d shard slots",
+				ErrStateCorrupt, shard, nShards)
 		}
 	}
 
-	rec.tree = newTree()
-	for _, e := range rec.entries {
-		rec.tree.append(LeafHash(e.Marshal()))
-	}
-	size := uint64(len(rec.entries))
-	state := &RecoveredState{Size: size, Segments: len(firsts), rootAt: rec.tree.rootAt}
-	if err := sthAnchor.CheckRecovery(state); err != nil {
-		return nil, err
-	}
-	for _, a := range extra {
-		if err := a.CheckRecovery(state); err != nil {
-			return nil, err
+	var all []shardRecord
+	var trims []trimOp
+	segments := 0
+	// counts/lastSeg/lastClean track each stream's pre-trim shape.
+	counts := make([]uint64, nShards)
+	segPaths := make([][]string, nShards)
+	tailClean := make([]int64, nShards)
+	for shard := 0; shard < nShards; shard++ {
+		firsts := shardFirsts[shard]
+		segments += len(firsts)
+		prevIndex := uint64(0)
+		haveRecord := false
+		for i, first := range firsts {
+			if first != counts[shard] {
+				return nil, nil, 0, fmt.Errorf("%w: segment %s starts at stream ordinal %d, want %d",
+					ErrStateCorrupt, shardSegmentName(shard, first), first, counts[shard])
+			}
+			path := filepath.Join(dir, shardSegmentName(shard, first))
+			segPaths[shard] = append(segPaths[shard], path)
+			payloads, clean, err := readSegment(path)
+			last := i == len(firsts)-1
+			switch {
+			case err == nil:
+			case errors.Is(err, errTornTail) && last:
+				trims = append(trims, trimOp{path: path, truncate: int64(clean)})
+			case errors.Is(err, errTornTail):
+				return nil, nil, 0, fmt.Errorf("%w: segment %s ends mid-record but is not the stream tail",
+					ErrStateCorrupt, shardSegmentName(shard, first))
+			default:
+				return nil, nil, 0, err
+			}
+			off := int64(0)
+			for _, p := range payloads {
+				index, body, err := splitIndexedRecord(p)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				e, uerr := UnmarshalEntry(body)
+				if uerr != nil {
+					return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, index, uerr)
+				}
+				if haveRecord && index <= prevIndex {
+					return nil, nil, 0, fmt.Errorf("%w: stream %d global index %d not increasing (previous %d)",
+						ErrStateCorrupt, shard, index, prevIndex)
+				}
+				prevIndex, haveRecord = index, true
+				all = append(all, shardRecord{index: index, entry: e, payload: body, shard: shard, seg: i, off: off})
+				off += recordHeaderLen + int64(len(p))
+				counts[shard]++
+			}
+			if last {
+				tailClean[shard] = int64(clean)
+			}
 		}
 	}
-	if tornPath != "" {
-		if err := os.Truncate(tornPath, tornAt); err != nil {
-			return nil, fmt.Errorf("translog: truncating torn tail: %w", err)
+
+	// Interleave: sort by global index, refuse duplicates, and keep the
+	// longest contiguous prefix from zero. Records past the first gap can
+	// only be the torn remains of the last uncommitted cycle — per-stream
+	// indices are increasing, so they form a suffix of each stream — and
+	// are trimmed like any other torn tail once the anchors accept. If
+	// the gap cut into committed history, the prefix is shorter than the
+	// persisted head and the anchors refuse before any trim runs.
+	sort.Slice(all, func(i, j int) bool { return all[i].index < all[j].index })
+	for i := 1; i < len(all); i++ {
+		if all[i].index == all[i-1].index {
+			return nil, nil, 0, fmt.Errorf("%w: global index %d appears in stream %d and stream %d",
+				ErrStateCorrupt, all[i].index, all[i-1].shard, all[i].shard)
 		}
 	}
-	sth, have := sthAnchor.Persisted()
-	rec.sth = sth
-	rec.sthStale = !have || size != sth.Size
-	return rec, nil
+	prefix := len(all)
+	for i, r := range all {
+		if r.index != uint64(i) {
+			prefix = i
+			break
+		}
+	}
+
+	rec := &recovered{shards: nShards}
+	for _, r := range all[:prefix] {
+		rec.entries = append(rec.entries, r.entry)
+		rec.payloads = append(rec.payloads, r.payload)
+	}
+	if prefix < len(all) {
+		// Plan the per-stream cuts: for each stream, everything from its
+		// first beyond-prefix record onward goes — truncate that record's
+		// segment at its offset, drop the stream's later segments.
+		cut := make(map[int]shardRecord)
+		dropped := make(map[int]uint64)
+		for _, r := range all[prefix:] {
+			if c, ok := cut[r.shard]; !ok || r.index < c.index {
+				cut[r.shard] = r
+			}
+			dropped[r.shard]++
+		}
+		for shard, c := range cut {
+			// The cut replaces any torn-tail trim already planned for the
+			// stream's last segment: the torn bytes sit after the cut.
+			kept := trims[:0]
+			for _, op := range trims {
+				if len(segPaths[shard]) > 0 && op.path == segPaths[shard][len(segPaths[shard])-1] {
+					continue
+				}
+				kept = append(kept, op)
+			}
+			trims = kept
+			trims = append(trims, trimOp{path: segPaths[shard][c.seg], truncate: c.off})
+			for i := c.seg + 1; i < len(segPaths[shard]); i++ {
+				trims = append(trims, trimOp{path: segPaths[shard][i], remove: true})
+			}
+			counts[shard] -= dropped[shard]
+			segPaths[shard] = segPaths[shard][:c.seg+1]
+			tailClean[shard] = c.off
+		}
+	}
+
+	rec.tails = make([]streamTail, nShards)
+	for shard := 0; shard < nShards; shard++ {
+		tail := streamTail{count: counts[shard]}
+		if n := len(segPaths[shard]); n > 0 {
+			tail.hasTail = true
+			_, first, _ := parseShardSegmentName(filepath.Base(segPaths[shard][n-1]))
+			tail.tailFirst = first
+			tail.tailClean = tailClean[shard]
+		}
+		rec.tails[shard] = tail
+	}
+	return rec, trims, segments, nil
 }
 
 // OpenDurableLog opens (creating if needed) a write-ahead durable log in
@@ -123,7 +382,9 @@ func recoverDir(dir string, sthAnchor *STHAnchor, extra []TrustAnchor) (*recover
 // (records fsynced, latest signed tree head atomically replaced, every
 // anchor updated) before AppendBatch returns, so the batched Appender
 // amortises the fsync the same way it amortises the tree-head
-// signature. Close the returned log to release the store and anchors.
+// signature. With cfg.Shards > 1 the WAL is split into per-host segment
+// streams — see StoreConfig.Shards and the ShardedAppender. Close the
+// returned log to release the store and anchors.
 func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, error) {
 	pub, ok := signer.Public().(*ecdsa.PublicKey)
 	if !ok {
@@ -145,13 +406,13 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 	}
 	sthAnchor := NewSTHAnchor(dir, pub)
 	sthAnchor.noSync = cfg.NoSync
-	rec, err := recoverDir(dir, sthAnchor, cfg.Anchors)
+	rec, err := recoverDir(dir, cfg, sthAnchor, cfg.Anchors)
 	if err != nil {
 		closeAnchors()
 		return nil, err
 	}
 	anchors := append([]TrustAnchor{sthAnchor}, cfg.Anchors...)
-	store, err := openStoreDir(dir, cfg, anchors, uint64(len(rec.entries)), rec.tailFirst, rec.tailClean, rec.hasTail)
+	store, err := openStoreDir(dir, cfg, anchors, rec)
 	if err != nil {
 		closeAnchors()
 		return nil, err
@@ -160,18 +421,15 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 	l := &Log{
 		signer:   signer,
 		tree:     rec.tree,
-		bySerial: make(map[string][]uint64),
+		issuance: make(map[string]uint64),
 		revoked:  make(map[string]bool),
 	}
 	for i, e := range rec.entries {
-		if e.Serial != "" {
-			l.bySerial[e.Serial] = append(l.bySerial[e.Serial], uint64(i))
-			if e.Type == EntryRevoke {
-				l.revoked[e.Serial] = true
-			}
-		}
+		l.indexEntry(e, uint64(i))
+		// The arena adopts the replayed canonical bytes — the same bytes
+		// the recovery pass hashed into the rebuilt tree.
+		l.entries.add(rec.payloads[i])
 	}
-	l.entries = rec.entries
 	size := uint64(len(rec.entries))
 	sth := rec.sth
 	if rec.sthStale {

@@ -23,6 +23,14 @@ import (
 // index order). Records never straddle segments, and every byte of a
 // segment belongs to some record — any flipped bit lands in a length, a
 // checksum or a payload, and each of those is detected on replay.
+//
+// A sharded store (StoreConfig.Shards > 1) keeps one segment stream per
+// host slot instead: seg-h<shard>-<first>.wal, where <first> is the
+// stream-local record ordinal (streams rotate independently) and every
+// record payload is prefixed with the entry's 8-byte big-endian global
+// tree index, so recovery can interleave the per-host streams back into
+// the exact global order the sequencer committed. The frame itself is
+// unchanged — the CRC covers index prefix and entry alike.
 
 const (
 	segmentSuffix = ".wal"
@@ -68,20 +76,117 @@ func parseSegmentName(name string) (first uint64, ok bool) {
 	return n, true
 }
 
-// listSegments returns the segment first-indices present in dir, sorted.
+// shardSegmentPrefix marks a per-host segment stream; the 4-digit shard
+// slot keeps lexical order = (shard, ordinal) order.
+const shardSegmentPrefix = segmentPrefix + "h"
+
+// maxShardSlots bounds StoreConfig.Shards: the file-name encoding holds
+// exactly 4 shard digits, and a slot it cannot name would write
+// segments recovery silently ignores — a log that bricks itself.
+// OpenDurableLog refuses larger configs up front.
+const maxShardSlots = 9999
+
+// shardSegmentName renders the file name for the sharded segment of the
+// given host slot whose first record is the stream-local ordinal first.
+func shardSegmentName(shard int, first uint64) string {
+	return fmt.Sprintf("%s%04d-%020d%s", shardSegmentPrefix, shard, first, segmentSuffix)
+}
+
+// parseShardSegmentName extracts the host slot and stream-local first
+// ordinal from a sharded segment name, ok=false for unrelated files
+// (including single-stream seg-<first>.wal names).
+func parseShardSegmentName(name string) (shard int, first uint64, ok bool) {
+	if !strings.HasPrefix(name, shardSegmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, shardSegmentPrefix), segmentSuffix)
+	shardDigits, firstDigits, found := strings.Cut(body, "-")
+	if !found || len(shardDigits) != 4 || len(firstDigits) != 20 {
+		return 0, 0, false
+	}
+	s, err := strconv.ParseUint(shardDigits, 10, 32)
+	if err != nil {
+		return 0, 0, false
+	}
+	n, err := strconv.ParseUint(firstDigits, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return int(s), n, true
+}
+
+// listSegments returns the single-stream segment first-indices present
+// in dir, sorted.
 func listSegments(dir string) ([]uint64, error) {
+	firsts, _, err := listAllSegments(dir)
+	return firsts, err
+}
+
+// listAllSegments scans dir once and returns both layouts: the sorted
+// single-stream firsts and, per shard slot, the sorted stream-local
+// firsts of that shard's segments. Recovery refuses a directory holding
+// both layouts, so exactly one of the returns is normally non-empty.
+func listAllSegments(dir string) (firsts []uint64, shardFirsts map[int][]uint64, err error) {
 	names, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("translog: reading store dir: %w", err)
+		return nil, nil, fmt.Errorf("translog: reading store dir: %w", err)
 	}
-	var firsts []uint64
+	shardFirsts = make(map[int][]uint64)
 	for _, de := range names {
+		if shard, first, ok := parseShardSegmentName(de.Name()); ok {
+			shardFirsts[shard] = append(shardFirsts[shard], first)
+			continue
+		}
 		if first, ok := parseSegmentName(de.Name()); ok {
 			firsts = append(firsts, first)
 		}
 	}
 	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
-	return firsts, nil
+	for _, fs := range shardFirsts {
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+	}
+	return firsts, shardFirsts, nil
+}
+
+// shardIndexLen is the global-index prefix every sharded record payload
+// carries.
+const shardIndexLen = 8
+
+// maxShardedEntryBytes bounds a single entry's canonical encoding in a
+// sharded store: the index prefix rides inside the same record frame, so
+// the entry itself gets 8 bytes less than the single-stream limit.
+const maxShardedEntryBytes = maxRecordBytes - shardIndexLen
+
+// indexedPayload builds a sharded record payload: the entry's global
+// tree index followed by its canonical encoding. It travels under the
+// ordinary record CRC, so the index is covered by the same checksum.
+func indexedPayload(index uint64, payload []byte) []byte {
+	rec := make([]byte, shardIndexLen, shardIndexLen+len(payload))
+	binary.BigEndian.PutUint64(rec, index)
+	return append(rec, payload...)
+}
+
+// appendIndexedRecord frames one sharded record into dst without
+// materialising the combined payload — the CRC runs over the index
+// prefix and the entry as two updates of the same checksum.
+func appendIndexedRecord(dst []byte, index uint64, payload []byte) []byte {
+	var idx [shardIndexLen]byte
+	binary.BigEndian.PutUint64(idx[:], index)
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(shardIndexLen+len(payload)))
+	sum := crc32.Update(crc32.Update(0, crcTable, idx[:]), crcTable, payload)
+	binary.BigEndian.PutUint32(hdr[4:], sum)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, idx[:]...)
+	return append(dst, payload...)
+}
+
+// splitIndexedRecord undoes appendIndexedRecord's payload layout.
+func splitIndexedRecord(rec []byte) (index uint64, payload []byte, err error) {
+	if len(rec) < shardIndexLen {
+		return 0, nil, fmt.Errorf("%w: sharded record too short for its index prefix", ErrStateCorrupt)
+	}
+	return binary.BigEndian.Uint64(rec[:shardIndexLen]), rec[shardIndexLen:], nil
 }
 
 // appendRecord frames one payload into dst.

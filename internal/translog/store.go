@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -45,6 +47,36 @@ var (
 // sthFileName holds the latest durably persisted signed tree head.
 const sthFileName = "sth.json"
 
+// shardsFileName pins a sharded store's stream count at creation, so
+// reopening with a different StoreConfig.Shards cannot silently change
+// the host→stream routing (the on-disk layout really is fixed at store
+// creation, as documented). The count is layout metadata, not trust
+// state: the records themselves are authenticated by their global
+// indices under the signed root, whatever stream they sit in.
+const shardsFileName = "shards"
+
+// loadShardCount reads the pinned stream count; ok=false when the store
+// predates sharding or is single-stream.
+func loadShardCount(dir string) (int, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, shardsFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("translog: reading shard count: %w", err)
+	}
+	n, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+	if perr != nil || n < 2 || n > maxShardSlots {
+		return 0, false, fmt.Errorf("%w: shard count file holds %q", ErrStateCorrupt, strings.TrimSpace(string(data)))
+	}
+	return n, true, nil
+}
+
+// saveShardCount pins the stream count at store creation.
+func saveShardCount(dir string, n int, noSync bool) error {
+	return atomicWriteFile(filepath.Join(dir, shardsFileName), []byte(strconv.Itoa(n)), !noSync)
+}
+
 // StoreConfig tunes the durable store.
 type StoreConfig struct {
 	// SegmentMaxBytes rotates to a fresh segment file once the active one
@@ -59,6 +91,17 @@ type StoreConfig struct {
 	// recovered state at open and notified of every committed head, in
 	// order. Anchors that implement io.Closer are closed with the store.
 	Anchors []TrustAnchor
+	// Shards, when > 1, splits the WAL into that many per-host segment
+	// streams (seg-h<shard>-*.wal): every entry is routed to the stream
+	// ShardOf picks for its host and framed with its global tree index,
+	// so a merging sequencer can commit many hosts' batches under one
+	// tree head — the touched streams are written and fsynced in
+	// parallel, then the head and anchor chain bump once per cycle —
+	// while recovery interleaves the streams back into the exact global
+	// order. The layout is fixed at store creation: opening an existing
+	// store keeps whichever layout is on disk. 0 or 1 keeps the single
+	// stream.
+	Shards int
 }
 
 // Store is the write-ahead, append-only on-disk half of a durable Log:
@@ -75,10 +118,13 @@ type Store struct {
 	anchors []TrustAnchor
 
 	mu sync.Mutex
-	// active is the open tail segment (nil until the first append or
-	// when the last recovery ended exactly on a rotation boundary).
-	active     *os.File
-	activeSize int64
+	// shards is the active layout: 0 for the legacy single stream,
+	// otherwise the number of per-host streams. It is fixed at open.
+	shards int
+	// streams are the append tails — one for the single layout, shards
+	// of them otherwise. Streams rotate their segment files
+	// independently.
+	streams []*stream
 	// size is the number of durably framed entries.
 	size uint64
 	// failed latches the first write error: after a partial batch write
@@ -87,35 +133,85 @@ type Store struct {
 	failed error
 }
 
-// openStoreDir creates the store directory and returns a Store positioned
-// at the given recovered size, resuming the segment at tailFirst (whose
-// intact length is tailClean) when one exists. anchors is the verified
-// trust-anchor chain (built-in STHAnchor first).
-func openStoreDir(dir string, cfg StoreConfig, anchors []TrustAnchor, size uint64, tailFirst uint64, tailClean int64, hasTail bool) (*Store, error) {
+// stream is one append tail: the legacy whole-log stream (shard < 0) or
+// one host slot's segment stream.
+type stream struct {
+	shard int
+	// active is the open tail segment (nil until the first append or
+	// when the last recovery ended exactly on a rotation boundary).
+	active     *os.File
+	activeSize int64
+	// count is the number of records durably framed in this stream — the
+	// next segment's first ordinal (for the legacy stream this equals
+	// the global entry count).
+	count uint64
+	// scratch is the stream's reusable frame buffer: one writer owns a
+	// stream at a time, so recycling it keeps a large commit cycle from
+	// allocating (and the runtime from zeroing) megabytes per cycle.
+	scratch []byte
+}
+
+// name renders the segment file name for the stream's segment whose
+// first record is ordinal first.
+func (st *stream) name(first uint64) string {
+	if st.shard < 0 {
+		return segmentName(first)
+	}
+	return shardSegmentName(st.shard, first)
+}
+
+// openStoreDir creates the store directory and returns a Store resuming
+// the verified recovered state rec. anchors is the trust-anchor chain
+// (built-in STHAnchor first).
+func openStoreDir(dir string, cfg StoreConfig, anchors []TrustAnchor, rec *recovered) (*Store, error) {
 	if cfg.SegmentMaxBytes <= 0 {
 		cfg.SegmentMaxBytes = defaultSegmentMaxBytes
 	}
-	s := &Store{dir: dir, cfg: cfg, anchors: anchors, size: size}
-	if hasTail {
-		path := filepath.Join(dir, segmentName(tailFirst))
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
-		if err != nil {
-			return nil, fmt.Errorf("translog: reopening tail segment: %w", err)
+	s := &Store{dir: dir, cfg: cfg, anchors: anchors, shards: rec.shards, size: uint64(len(rec.entries))}
+	for i, tail := range rec.tails {
+		st := &stream{shard: -1, count: tail.count}
+		if rec.shards > 0 {
+			st.shard = i
 		}
-		s.active, s.activeSize = f, tailClean
+		if tail.hasTail {
+			path := filepath.Join(dir, st.name(tail.tailFirst))
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+			if err != nil {
+				s.closeStreams()
+				return nil, fmt.Errorf("translog: reopening tail segment: %w", err)
+			}
+			st.active, st.activeSize = f, tail.tailClean
+		}
+		s.streams = append(s.streams, st)
 	}
 	return s, nil
 }
 
+// closeStreams closes any tail files already opened (error-path cleanup).
+func (s *Store) closeStreams() {
+	for _, st := range s.streams {
+		if st.active != nil {
+			st.active.Close()
+			st.active = nil
+		}
+	}
+}
+
+// shardCount reports the number of per-host streams the store writes
+// (0 for the legacy single-stream layout). Fixed at open, so reading it
+// without the lock is safe.
+func (s *Store) shardCount() int { return s.shards }
+
 // appendBatch durably frames the batch payloads and then commits sth to
-// every trust anchor. Ordering matters for crash consistency: records
-// first (fsynced), tree head second — a crash in between leaves extra
-// durable entries beyond the head, which recovery accepts and re-signs;
-// the reverse order could leave a head signing entries that were never
-// written. The anchor chain runs under the same lock, so a batch is
-// acknowledged only once every anchor (persisted head, witness head,
-// sealed counter) has recorded it.
-func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
+// every trust anchor. shardIdx routes each payload to its host stream in
+// a sharded store (ignored — may be nil — for the single stream).
+// Ordering matters for crash consistency: records first (fsynced), tree
+// head second — a crash in between leaves extra durable entries beyond
+// the head, which recovery accepts and re-signs; the reverse order could
+// leave a head signing entries that were never written. The anchor chain
+// runs under the same lock, so a batch is acknowledged only once every
+// anchor (persisted head, witness head, sealed counter) has recorded it.
+func (s *Store) appendBatch(payloads [][]byte, shardIdx []int, sth SignedTreeHead) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed != nil {
@@ -126,12 +222,28 @@ func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
 	// open with ErrStateCorrupt — a log that bricks itself. Refusing here
 	// keeps the in-memory and on-disk state consistent (the caller rolls
 	// the batch back) without latching the store failed.
+	limit := maxRecordBytes
+	if s.shards > 0 {
+		limit = maxShardedEntryBytes
+	}
 	for _, p := range payloads {
-		if len(p) > maxRecordBytes {
-			return fmt.Errorf("%w: encoding is %d bytes, record limit %d", ErrEntryTooLarge, len(p), maxRecordBytes)
+		if len(p) > limit {
+			return fmt.Errorf("%w: encoding is %d bytes, record limit %d", ErrEntryTooLarge, len(p), limit)
 		}
 	}
-	if err := s.writeRecords(payloads); err != nil {
+	var err error
+	if s.shards > 0 {
+		err = s.writeShardedRecords(payloads, shardIdx)
+	} else {
+		size := 0
+		for _, p := range payloads {
+			size += recordHeaderLen + len(p)
+		}
+		err = s.streams[0].write(s, len(payloads), size, func(i int, dst []byte) []byte {
+			return appendRecord(dst, payloads[i])
+		})
+	}
+	if err != nil {
 		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
 		return s.failed
 	}
@@ -140,6 +252,54 @@ func (s *Store) appendBatch(payloads [][]byte, sth SignedTreeHead) error {
 		return s.failed
 	}
 	s.size += uint64(len(payloads))
+	return nil
+}
+
+// writeShardedRecords routes each payload to its host stream, stamped
+// with its global index, and writes the touched streams concurrently —
+// they are separate files, so their record writes and fsyncs overlap.
+// Every stream's write must return before the head is persisted, which
+// preserves the records-before-head crash ordering; a failure in any
+// stream fails the batch (and the caller latches the store), because a
+// partially landed cycle may no longer match the in-memory log.
+func (s *Store) writeShardedRecords(payloads [][]byte, shardIdx []int) error {
+	perShard := make([][]int, s.shards)
+	for i := range payloads {
+		shard := 0
+		if i < len(shardIdx) {
+			shard = shardIdx[i]
+		}
+		if shard < 0 || shard >= s.shards {
+			return fmt.Errorf("translog: shard %d out of range (store has %d)", shard, s.shards)
+		}
+		perShard[shard] = append(perShard[shard], i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, s.shards)
+	base := s.size
+	for shard, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard int, idxs []int) {
+			defer wg.Done()
+			size := 0
+			for _, i := range idxs {
+				size += recordHeaderLen + shardIndexLen + len(payloads[i])
+			}
+			errs[shard] = s.streams[shard].write(s, len(idxs), size, func(k int, dst []byte) []byte {
+				i := idxs[k]
+				return appendIndexedRecord(dst, base+uint64(i), payloads[i])
+			})
+		}(shard, idxs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -162,71 +322,79 @@ func (s *Store) commitHeadLocked(sth SignedTreeHead) error {
 	return nil
 }
 
-// writeRecords appends framed payloads to the active segment, rotating
-// at the size cap. Every touched segment is fsynced before the batch is
-// acknowledged: rotation syncs the segment it retires, and the tail sync
-// below covers the one left active.
-func (s *Store) writeRecords(payloads [][]byte) error {
-	pending := make([]byte, 0, 4096)
+// write appends n records to the stream's active segment, rotating at
+// the size cap; frame(i, dst) appends record i's framed bytes to dst, so
+// the cycle's records land in one buffer with no per-record allocation.
+// Every touched segment is fsynced before the batch is acknowledged:
+// rotation syncs the segment it retires, and the tail sync below covers
+// the one left active. Callers hold s.mu (or, for the parallel sharded
+// path, own the stream exclusively for the duration).
+func (st *stream) write(s *Store, n, sizeHint int, frame func(i int, dst []byte) []byte) error {
+	if cap(st.scratch) < sizeHint {
+		st.scratch = make([]byte, 0, sizeHint)
+	}
+	pending := st.scratch[:0]
+	defer func() { st.scratch = pending[:0] }()
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
 		}
-		if _, err := s.active.Write(pending); err != nil {
+		if _, err := st.active.Write(pending); err != nil {
 			return fmt.Errorf("translog: writing segment: %w", err)
 		}
-		s.activeSize += int64(len(pending))
+		st.activeSize += int64(len(pending))
 		pending = pending[:0]
 		return nil
 	}
-	next := s.size
-	for _, p := range payloads {
-		if s.active == nil || s.activeSize+int64(len(pending)) >= s.cfg.SegmentMaxBytes {
+	next := st.count
+	for i := 0; i < n; i++ {
+		if st.active == nil || st.activeSize+int64(len(pending)) >= s.cfg.SegmentMaxBytes {
 			if err := flush(); err != nil {
 				return err
 			}
-			if err := s.rotate(next); err != nil {
+			if err := st.rotate(s, next); err != nil {
 				return err
 			}
 		}
-		pending = appendRecord(pending, p)
+		pending = frame(i, pending)
 		next++
 	}
 	if err := flush(); err != nil {
 		return err
 	}
 	if !s.cfg.NoSync {
-		if err := s.active.Sync(); err != nil {
+		if err := st.active.Sync(); err != nil {
 			return fmt.Errorf("translog: fsync segment: %w", err)
 		}
 	}
+	st.count = next
 	return nil
 }
 
-// rotate closes the active segment and opens a fresh one whose first
-// entry will be index first.
-func (s *Store) rotate(first uint64) error {
-	if s.active != nil {
+// rotate closes the stream's active segment and opens a fresh one whose
+// first record will be stream ordinal first.
+func (st *stream) rotate(s *Store, first uint64) error {
+	if st.active != nil {
 		if !s.cfg.NoSync {
-			if err := s.active.Sync(); err != nil {
+			if err := st.active.Sync(); err != nil {
 				return fmt.Errorf("translog: fsync segment: %w", err)
 			}
 		}
-		if err := s.active.Close(); err != nil {
+		if err := st.active.Close(); err != nil {
 			return fmt.Errorf("translog: closing segment: %w", err)
 		}
-		s.active = nil
+		st.active = nil
 	}
-	path := filepath.Join(s.dir, segmentName(first))
+	path := filepath.Join(s.dir, st.name(first))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
 	if err != nil {
 		return fmt.Errorf("translog: creating segment: %w", err)
 	}
-	s.active, s.activeSize = f, 0
+	st.active, st.activeSize = f, 0
 	if !s.cfg.NoSync {
 		if err := syncDir(s.dir); err != nil {
 			f.Close()
-			s.active = nil
+			st.active = nil
 			return err
 		}
 	}
@@ -325,19 +493,24 @@ func (s *Store) Close() error {
 			}
 		}
 	}
-	if s.active == nil {
-		return err
-	}
-	f := s.active
-	s.active = nil
-	if !s.cfg.NoSync {
-		if serr := f.Sync(); serr != nil {
-			f.Close()
-			return fmt.Errorf("translog: fsync segment: %w", serr)
+	for _, st := range s.streams {
+		if st.active == nil {
+			continue
 		}
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
+		f := st.active
+		st.active = nil
+		if !s.cfg.NoSync {
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				if err == nil {
+					err = fmt.Errorf("translog: fsync segment: %w", serr)
+				}
+				continue
+			}
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

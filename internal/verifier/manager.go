@@ -110,7 +110,15 @@ type Config struct {
 	// translog.ErrState* errors if the on-disk log was rolled back,
 	// tampered with or damaged since the last run.
 	LogDir string
-	// LogStore tunes the durable store when LogDir is set.
+	// LogStore tunes the durable store when LogDir is set. With
+	// LogStore.Shards > 1 the Manager also swaps its hot-path batcher
+	// for a translog.ShardedAppender: every enrolled host maps to the
+	// shard translog.ShardOf picks for its name, each host's attestation
+	// verdicts buffer behind that host's own lock, and a merging
+	// sequencer commits all hosts' batches as one Merkle batch per cycle
+	// — per-host WAL streams, one tree-head signature and one
+	// trust-anchor bump per cycle, so the audit log ingests a fleet of
+	// VMs without serialising them.
 	LogStore translog.StoreConfig
 	// SealLog, when non-nil (and the Manager opens a durable log via
 	// LogDir), anchors the log's newest signed tree head in an
@@ -165,12 +173,14 @@ type Manager struct {
 	goldenIMA *ima.GoldenDB
 
 	// tlog is the transparency log recording every trust decision;
-	// tlogAppender batches the hot-path attestation entries. tlogOwned
-	// marks a durable log the Manager opened itself (from Config.LogDir)
-	// and must therefore close.
+	// tlogAppender batches the hot-path attestation entries — the single
+	// Appender, or the per-host ShardedAppender when the log store is
+	// sharded. tlogOwned marks a durable log the Manager opened itself
+	// (from Config.LogDir) and must therefore close.
 	tlog         *translog.Log
 	tlogOwned    bool
-	tlogAppender *translog.Appender
+	tlogAppender translog.EntryAppender
+	tlogShards   int
 
 	tracer func(phase string, d time.Duration)
 
@@ -243,6 +253,20 @@ func New(cfg Config) (*Manager, error) {
 			return nil, err
 		}
 	}
+	// The effective shard count is whatever the durable store pinned at
+	// creation — a store opened with a different LogStore.Shards keeps
+	// its original layout, and the Manager's appender and LogShard
+	// mapping must agree with the streams the records actually land in.
+	logShards := cfg.LogStore.Shards
+	if tlog.Durable() {
+		logShards = tlog.StoreShards()
+	}
+	var appender translog.EntryAppender
+	if logShards > 1 {
+		appender = translog.NewShardedAppender(tlog, translog.ShardedAppenderConfig{Shards: logShards})
+	} else {
+		appender = translog.NewAppender(tlog, translog.AppenderConfig{})
+	}
 	return &Manager{
 		name:         cfg.Name,
 		key:          key,
@@ -251,7 +275,8 @@ func New(cfg Config) (*Manager, error) {
 		ca:           ca,
 		tlog:         tlog,
 		tlogOwned:    ownsLog,
-		tlogAppender: translog.NewAppender(tlog, translog.AppenderConfig{}),
+		tlogAppender: appender,
+		tlogShards:   logShards,
 		policy:       cfg.Policy,
 		provMode:     cfg.ProvisionMode,
 		certValidity: cfg.CertValidity,

@@ -162,6 +162,96 @@ func TestRestartRefusesRolledBackStatedir(t *testing.T) {
 	}
 }
 
+// TestRestartShardedDurableLog runs the restart guarantee over a
+// per-host sharded log store: the Manager batches its audit entries
+// through the sharded appender, the WAL splits into per-host segment
+// streams, and a second Manager lifetime recovers the interleaved
+// streams into the same history — proofs, indices and revocations
+// intact. The host→shard mapping is exposed and stable across restarts.
+func TestRestartShardedDurableLog(t *testing.T) {
+	logDir := t.TempDir()
+	store := translog.StoreConfig{Shards: 4}
+	ca, err := pki.NewCA("shard CA", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := newDeployment(t, deployOpts{ca: ca, logDir: logDir, logStore: store})
+	shard, ok := d.m.LogShard("host-a")
+	if !ok || shard < 0 || shard >= 4 {
+		t.Fatalf("LogShard(host-a) = (%d,%v), want a slot in [0,4)", shard, ok)
+	}
+	d.deployAndLearn(t, "fw-keep")
+	d.deployAndLearn(t, "fw-revoke")
+	if _, err := d.m.AttestHost("host-a"); err != nil {
+		t.Fatal(err)
+	}
+	kept, err := d.m.EnrollVNF("host-a", "fw-keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := d.m.EnrollVNF("host-a", "fw-revoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.m.RevokeVNF("fw-revoke"); err != nil {
+		t.Fatal(err)
+	}
+	preProof, err := d.m.CredentialProof(kept.Serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.m.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	preSTH := d.m.TransparencyLog().STH()
+	if err := d.m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The WAL really is sharded: per-host stream files exist, legacy
+	// single-stream files do not.
+	shardSegs, err := filepath.Glob(filepath.Join(logDir, "seg-h*.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shardSegs) == 0 {
+		t.Fatal("sharded store produced no per-host segment streams")
+	}
+
+	m2, err := New(Config{
+		Name: "vm-restarted", SPID: sgx.SPID{9},
+		IAS:      &ias.DirectClient{Service: d.iasSvc, Model: d.model},
+		CA:       ca,
+		LogDir:   logDir,
+		LogStore: store,
+	})
+	if err != nil {
+		t.Fatalf("reopening VM over sharded durable log: %v", err)
+	}
+	defer m2.Close()
+	if got, ok := m2.LogShard("host-a"); !ok || got != shard {
+		t.Fatalf("host shard moved across restart: %d -> %d (ok=%v)", shard, got, ok)
+	}
+	log2 := m2.TransparencyLog()
+	if log2.Size() != preSTH.Size {
+		t.Fatalf("recovered %d entries, want %d", log2.Size(), preSTH.Size)
+	}
+	if err := preProof.Verify(caPub(m2)); err != nil {
+		t.Fatalf("pre-restart proof: %v", err)
+	}
+	postProof, err := m2.CredentialProof(kept.Serial)
+	if err != nil {
+		t.Fatalf("pre-restart serial unprovable after sharded restart: %v", err)
+	}
+	if postProof.Index != preProof.Index {
+		t.Fatalf("serial index moved across sharded restart: %d -> %d", preProof.Index, postProof.Index)
+	}
+	if _, err := m2.CredentialProof(dropped.Serial); !errors.Is(err, translog.ErrLogRevoked) {
+		t.Fatalf("revoked serial after sharded restart: got %v, want ErrLogRevoked", err)
+	}
+}
+
 // rollBackStore deletes the WAL segments while keeping the persisted
 // tree head — the on-disk shape of a restored-from-snapshot attack.
 func rollBackStore(t *testing.T, dir string) {

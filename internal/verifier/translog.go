@@ -42,6 +42,16 @@ func (m *Manager) CredentialChecker() func(cert *x509.Certificate) error {
 // and orderly shutdown).
 func (m *Manager) FlushLog() error { return m.tlogAppender.Flush() }
 
+// LogShard reports which per-host shard of the transparency log carries
+// a host's audit entries — the mapping the sharded appender and the
+// sharded WAL both use. Zero (with ok=false) when the log is unsharded.
+func (m *Manager) LogShard(host string) (shard int, ok bool) {
+	if m.tlogShards <= 1 {
+		return 0, false
+	}
+	return translog.ShardOf(host, m.tlogShards), true
+}
+
 // Close releases the Manager's background resources: the appender is
 // flushed and stopped, and a durable log the Manager opened itself (via
 // Config.LogDir) is closed with its tail segment fsynced.

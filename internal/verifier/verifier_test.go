@@ -17,6 +17,7 @@ import (
 	"vnfguard/internal/pki"
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/simtime"
+	"vnfguard/internal/translog"
 )
 
 // deployment wires issuer, IAS, a host and a Manager — the full trust
@@ -36,9 +37,11 @@ type deployOpts struct {
 	provMode        enclaveapp.ProvisionMode
 	attestationCode string
 	// ca and logDir let restart tests share a CA and a durable
-	// transparency log across two Manager lifetimes.
-	ca     *pki.CA
-	logDir string
+	// transparency log across two Manager lifetimes; logStore tunes the
+	// store (per-host sharding included).
+	ca       *pki.CA
+	logDir   string
+	logStore translog.StoreConfig
 }
 
 func newDeployment(t *testing.T, opts deployOpts) *deployment {
@@ -69,6 +72,7 @@ func newDeployment(t *testing.T, opts deployOpts) *deployment {
 		ProvisionMode: opts.provMode,
 		CA:            opts.ca,
 		LogDir:        opts.logDir,
+		LogStore:      opts.logStore,
 	})
 	if err != nil {
 		t.Fatal(err)
