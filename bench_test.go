@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -24,6 +25,8 @@ import (
 	"vnfguard/internal/enclaveapp"
 	"vnfguard/internal/epid"
 	"vnfguard/internal/ima"
+	"vnfguard/internal/metrics"
+	"vnfguard/internal/obs"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/simtime"
@@ -915,6 +918,96 @@ func BenchmarkE16ShardedAppend(b *testing.B) {
 			defer l.Close()
 			run(b, l, translog.NewShardedAppender(l, translog.ShardedAppenderConfig{}), hosts)
 		})
+	}
+}
+
+// BenchmarkE17TelemetryOverhead measures what the PR-6 instrumentation
+// costs the hottest path in the repo: the 16-host sharded append run
+// from E16, once with the telemetry registry live (every counter,
+// gauge and phase histogram recording) and once with it disabled (each
+// instrument op short-circuits on one atomic load). The acceptance bar
+// is instrumented throughput within 5% of uninstrumented. With
+// BENCH_JSON_DIR set, the comparison lands in BENCH_E17.json.
+func BenchmarkE17TelemetryOverhead(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	var actors, hostNames [64]string
+	for i := range actors {
+		actors[i] = fmt.Sprintf("fw-%d", i)
+		hostNames[i] = fmt.Sprintf("host-%d", i)
+	}
+	const hosts = 16
+	run := func(b *testing.B, enabled bool) (ops int64, elapsed time.Duration) {
+		obs.Default().SetEnabled(enabled)
+		defer obs.Default().SetEnabled(true)
+		l, err := translog.OpenDurableLog(signer, b.TempDir(), translog.StoreConfig{Shards: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		ap := translog.NewShardedAppender(l, translog.ShardedAppenderConfig{})
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		start := time.Now()
+		for h := 0; h < hosts; h++ {
+			wg.Add(1)
+			go func(h int) {
+				defer wg.Done()
+				host := hostNames[h]
+				for i := h; i < b.N; i += hosts {
+					e := translog.Entry{
+						Type: translog.EntryAttestOK, Timestamp: int64(1700000000000 + i),
+						Actor: actors[i%64], Host: host, Detail: "OK",
+					}
+					if err := ap.Append(e); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(h)
+		}
+		wg.Wait()
+		if err := ap.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed = time.Since(start)
+		b.StopTimer()
+		if got := l.Size(); got != uint64(b.N) {
+			b.Fatalf("committed %d of %d entries", got, b.N)
+		}
+		if err := ap.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return int64(b.N), elapsed
+	}
+	var res [2]struct {
+		ops     int64
+		elapsed time.Duration
+	}
+	b.Run("uninstrumented", func(b *testing.B) { res[0].ops, res[0].elapsed = run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { res[1].ops, res[1].elapsed = run(b, true) })
+	if dir := os.Getenv("BENCH_JSON_DIR"); dir != "" && res[0].ops > 0 && res[1].ops > 0 {
+		off := float64(res[0].elapsed.Nanoseconds()) / float64(res[0].ops)
+		on := float64(res[1].elapsed.Nanoseconds()) / float64(res[1].ops)
+		art := metrics.BenchArtifact{
+			Name:        "E17",
+			Description: "telemetry overhead on the 16-host sharded append path",
+			Ops:         res[1].ops,
+			NsPerOp:     on,
+			Table: &metrics.TableData{
+				Title:   "E17: telemetry overhead (sharded append, 16 hosts)",
+				Headers: []string{"variant", "ns/op"},
+				Rows: [][]string{
+					{"uninstrumented", fmt.Sprintf("%.0f", off)},
+					{"instrumented", fmt.Sprintf("%.0f", on)},
+					{"overhead", fmt.Sprintf("%.2f%%", (on-off)/off*100)},
+				},
+			},
+			UnixTime: time.Now().Unix(),
+		}
+		if err := metrics.WriteBenchJSON(dir, art); err != nil {
+			b.Error(err)
+		}
 	}
 }
 

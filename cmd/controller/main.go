@@ -16,6 +16,7 @@ import (
 
 	"vnfguard/internal/controller"
 	"vnfguard/internal/netsim"
+	"vnfguard/internal/obs"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/statedir"
 )
@@ -25,7 +26,12 @@ func main() {
 	stateDir := flag.String("state-dir", "./state", "shared state directory")
 	modeName := flag.String("mode", "trusted-https", "security mode: http, https, trusted-https")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for VM init material")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:0", "telemetry listen address (/metrics, /debug/vars, /debug/pprof); empty disables. The endpoint is unauthenticated — keep it loopback-bound.")
 	flag.Parse()
+
+	if _, err := obs.Start(*metricsAddr, log.Printf); err != nil {
+		log.Fatal(err)
+	}
 
 	var mode controller.SecurityMode
 	switch *modeName {

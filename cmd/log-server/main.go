@@ -41,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"vnfguard/internal/obs"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/statedir"
 	"vnfguard/internal/translog"
@@ -59,8 +60,12 @@ func main() {
 	shards := flag.Int("shards", 0, "per-host WAL shard count for the served log (serve mode; >1 splits the WAL into per-host segment streams; fixed at store creation)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-log-server.json", "platform NV file for -seal (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:0", "telemetry listen address (/metrics, /debug/vars, /debug/pprof); empty disables. The endpoint is unauthenticated — keep it loopback-bound.")
 	flag.Parse()
 
+	if _, err := obs.Start(*metricsAddr, log.Printf); err != nil {
+		log.Fatal(err)
+	}
 	dir, err := statedir.Open(*stateDir)
 	if err != nil {
 		log.Fatal(err)

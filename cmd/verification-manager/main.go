@@ -33,6 +33,7 @@ import (
 	"vnfguard/internal/enclaveapp"
 	"vnfguard/internal/host"
 	"vnfguard/internal/ias"
+	"vnfguard/internal/obs"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/simtime"
@@ -53,8 +54,12 @@ func main() {
 	logShards := flag.Int("log-shards", 0, "per-host WAL shard count for the durable log (>1 gives each enrolled host its own segment stream and batches verdicts through the merging sequencer)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-vm.json", "platform NV file for -seal-log (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
+	metricsAddr := flag.String("metrics-addr", "127.0.0.1:0", "telemetry listen address (/metrics, /debug/vars, /debug/pprof); empty disables. The endpoint is unauthenticated — keep it loopback-bound.")
 	flag.Parse()
 
+	if _, err := obs.Start(*metricsAddr, log.Printf); err != nil {
+		log.Fatal(err)
+	}
 	dir, err := statedir.Open(*stateDir)
 	if err != nil {
 		log.Fatal(err)

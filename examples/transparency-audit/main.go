@@ -25,12 +25,15 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +41,7 @@ import (
 	"vnfguard/internal/core"
 	"vnfguard/internal/enclaveapp"
 	"vnfguard/internal/epid"
+	"vnfguard/internal/obs"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/sgx"
 	"vnfguard/internal/statedir"
@@ -48,6 +52,14 @@ import (
 func main() {
 	fmt.Println("vnfguard transparency audit — verifiable evidence for every trust decision")
 	fmt.Println()
+
+	// The telemetry endpoint every binary in the repo exposes via
+	// -metrics-addr: the walkthrough scrapes it mid-act like an operator's
+	// Prometheus would, and asserts the series the acts should move.
+	metricsLn, err := obs.Default().Serve("127.0.0.1:0")
+	check(err)
+	defer metricsLn.Close()
+	metricsURL := "http://" + metricsLn.Addr().String() + "/metrics"
 
 	// The VM's log is durable: WAL segments plus a persisted signed tree
 	// head under this directory, which act 5 reopens after a "crash".
@@ -99,7 +111,15 @@ func main() {
 	for i, e := range tlog.Entries(0, tlog.Size()) {
 		fmt.Printf("  [%d] %-12s actor=%-8s serial=%-4s %s\n", i, e.Type, e.Actor, e.Serial, e.Detail)
 	}
-	fmt.Println()
+
+	// Mid-act scrape: the workflow's verdicts are committed, so the
+	// append and anchor series must already be moving.
+	appendedMid := scrapeValue(metricsURL, "translog_appended_entries_total")
+	anchorsMid := scrapeValue(metricsURL, `translog_anchor_commit_seconds_count{anchor="statedir-sth"}`)
+	if appendedMid <= 0 || anchorsMid <= 0 {
+		log.Fatalf("mid-act /metrics scrape: appended=%v anchor commits=%v, want both > 0", appendedMid, anchorsMid)
+	}
+	fmt.Printf("mid-act /metrics scrape: %.0f entries appended, %.0f statedir-sth anchor commits observed ✓\n\n", appendedMid, anchorsMid)
 
 	// 1. Inclusion proof: anyone holding the CA certificate can verify a
 	//    credential was issued by the logged workflow.
@@ -251,8 +271,56 @@ func main() {
 	fmt.Println("--- per-host shards: one merged tree head for a fleet of hosts ---")
 	runShardedAct(d.VM.CA().Signer(), logKey)
 
+	// Final scrape: the acts between the scrapes appended more entries,
+	// committed more anchors and ran gossip rounds — the series must have
+	// increased, exactly what an operator's alerting would watch.
+	body := scrape(metricsURL)
+	appendedEnd := seriesValue(body, "translog_appended_entries_total")
+	anchorsEnd := seriesValue(body, `translog_anchor_commit_seconds_count{anchor="statedir-sth"}`)
+	gossipEnd := seriesValue(body, "translog_gossip_exchanges_total")
+	if appendedEnd <= appendedMid || anchorsEnd <= anchorsMid || gossipEnd <= 0 {
+		log.Fatalf("final /metrics scrape did not advance: appended %v→%v anchors %v→%v gossip=%v",
+			appendedMid, appendedEnd, anchorsMid, anchorsEnd, gossipEnd)
+	}
+	fmt.Println()
+	fmt.Printf("final /metrics scrape: appended %.0f→%.0f, anchor commits %.0f→%.0f, %.0f gossip exchanges — all increasing ✓\n",
+		appendedMid, appendedEnd, anchorsMid, anchorsEnd, gossipEnd)
+	if path := os.Getenv("METRICS_SNAPSHOT"); path != "" {
+		check(os.WriteFile(path, []byte(body), 0o644))
+		fmt.Printf("metrics snapshot written to %s\n", path)
+	}
+
 	fmt.Println()
 	fmt.Println("audit complete: every verdict provable, nothing taken on faith — not even across restarts")
+}
+
+// scrape fetches the full Prometheus exposition.
+func scrape(url string) string {
+	resp, err := http.Get(url)
+	check(err)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	return string(body)
+}
+
+// seriesValue extracts one series' current value from an exposition.
+func seriesValue(body, series string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series)
+		if !ok || !strings.HasPrefix(rest, " ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		check(err)
+		return v
+	}
+	return -1
+}
+
+// scrapeValue is scrape + seriesValue in one request.
+func scrapeValue(url, series string) float64 {
+	return seriesValue(scrape(url), series)
 }
 
 // servedLog lets the "restarted" (rolled-back) log come back at the same

@@ -72,20 +72,31 @@ func (h *Histogram) Count() int64 {
 type Summary struct {
 	Name  string
 	Count int64
-	Mean  time.Duration
-	Min   time.Duration
-	Max   time.Duration
-	P50   time.Duration
-	P95   time.Duration
-	P99   time.Duration
+	// Sampled is how many observations the percentiles are computed
+	// from. Count keeps growing past MaxSamples but the sample buffer
+	// does not, so Sampled < Count means P50/P95/P99 describe only the
+	// first Sampled observations — the tail is silently excluded, and
+	// anything rendering the summary should say so (Table footnotes,
+	// Summary.String).
+	Sampled int64
+	Mean    time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
 }
+
+// Truncated reports whether the percentiles exclude observations beyond
+// the MaxSamples buffer.
+func (s Summary) Truncated() bool { return s.Sampled < s.Count }
 
 // Summarize returns the current summary. An empty histogram yields a zero
 // summary with its name set.
 func (h *Histogram) Summarize() Summary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := Summary{Name: h.name, Count: h.count}
+	s := Summary{Name: h.name, Count: h.count, Sampled: int64(len(h.samples))}
 	if h.count == 0 {
 		return s
 	}
@@ -123,10 +134,16 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[rank]
 }
 
-// String renders the summary on one line.
+// String renders the summary on one line, flagging truncated
+// percentiles so a long bench cannot quietly report statistics that
+// exclude its tail.
 func (s Summary) String() string {
-	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
+	out := fmt.Sprintf("%s: n=%d mean=%v p50=%v p95=%v p99=%v min=%v max=%v",
 		s.Name, s.Count, round(s.Mean), round(s.P50), round(s.P95), round(s.P99), round(s.Min), round(s.Max))
+	if s.Truncated() {
+		out += fmt.Sprintf(" (percentiles from first %d of %d samples)", s.Sampled, s.Count)
+	}
+	return out
 }
 
 // round trims durations to a readable precision (3 significant units).

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -129,5 +131,88 @@ func TestRound(t *testing.T) {
 		if got := round(c.in); got != c.want {
 			t.Errorf("round(%v) = %v, want %v", c.in, got, c.want)
 		}
+	}
+}
+
+func TestSummarySampledTracksTruncation(t *testing.T) {
+	h := NewHistogram("long")
+	for i := 0; i < MaxSamples+100; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+	s := h.Summarize()
+	if s.Count != MaxSamples+100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sampled != MaxSamples {
+		t.Fatalf("sampled = %d, want %d", s.Sampled, MaxSamples)
+	}
+	if !s.Truncated() {
+		t.Fatal("summary past MaxSamples must report truncation")
+	}
+	if out := s.String(); !strings.Contains(out, "percentiles from first 65536") {
+		t.Fatalf("truncated summary string hides it: %q", out)
+	}
+
+	short := NewHistogram("short")
+	short.Observe(time.Millisecond)
+	if ss := short.Summarize(); ss.Truncated() || ss.Sampled != 1 {
+		t.Fatalf("short summary: %+v", ss)
+	}
+}
+
+func TestTableFootnotes(t *testing.T) {
+	tb := NewTable("T", "a")
+	tb.AddRow(1)
+	tb.AddFootnote("plain note")
+	tb.NoteTruncation(
+		Summary{Name: "full", Count: 10, Sampled: 10},
+		Summary{Name: "cut", Count: 100000, Sampled: 65536},
+	)
+	out := tb.String()
+	if !strings.Contains(out, "* plain note") {
+		t.Fatalf("plain footnote missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cut: percentiles computed from the first 65536 of 100000") {
+		t.Fatalf("truncation footnote missing:\n%s", out)
+	}
+	if strings.Contains(out, "full:") {
+		t.Fatalf("untruncated summary got a footnote:\n%s", out)
+	}
+	if md := tb.Markdown(); !strings.Contains(md, `\* plain note`) {
+		t.Fatalf("markdown footnote missing:\n%s", md)
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("E99", "col")
+	tb.AddRow("v")
+	h := NewHistogram("lat")
+	h.Observe(3 * time.Millisecond)
+	td := tb.Data()
+	a := BenchArtifact{
+		Name: "E99", Description: "demo", Ops: 42, NsPerOp: 123.5,
+		Summaries: []SummaryData{h.Summarize().Data()},
+		Table:     &td,
+	}
+	if err := WriteBenchJSON(dir, a); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/BENCH_E99.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchArtifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "E99" || back.Ops != 42 || len(back.Summaries) != 1 || back.Table.Title != "E99" {
+		t.Fatalf("artifact round-trip: %+v", back)
+	}
+	if back.Summaries[0].P50Ns != int64(3*time.Millisecond) {
+		t.Fatalf("summary p50 = %d", back.Summaries[0].P50Ns)
+	}
+	if err := WriteBenchJSON(dir, BenchArtifact{Name: "../evil"}); err == nil {
+		t.Fatal("path-escaping artifact name accepted")
 	}
 }

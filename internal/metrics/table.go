@@ -8,9 +8,10 @@ import (
 // Table renders aligned plain-text tables in the style used by
 // EXPERIMENTS.md. Columns are sized to the widest cell.
 type Table struct {
-	title   string
-	headers []string
-	rows    [][]string
+	title     string
+	headers   []string
+	rows      [][]string
+	footnotes []string
 }
 
 // NewTable returns a table with the given title and column headers.
@@ -25,6 +26,24 @@ func (t *Table) AddRow(cells ...any) {
 		row[i] = fmt.Sprintf("%v", c)
 	}
 	t.rows = append(t.rows, row)
+}
+
+// AddFootnote appends a note rendered under the table (String and
+// Markdown both show it, prefixed "*").
+func (t *Table) AddFootnote(note string) {
+	t.footnotes = append(t.footnotes, note)
+}
+
+// NoteTruncation adds a footnote for every summary whose percentiles
+// were computed from a truncated sample buffer (Summary.Truncated), so
+// tables built over long benches disclose which rows exclude the tail.
+func (t *Table) NoteTruncation(summaries ...Summary) {
+	for _, s := range summaries {
+		if s.Truncated() {
+			t.AddFootnote(fmt.Sprintf("%s: percentiles computed from the first %d of %d observations (MaxSamples buffer)",
+				s.Name, s.Sampled, s.Count))
+		}
+	}
 }
 
 // String renders the table with a title line, a header row, a rule and the
@@ -65,6 +84,9 @@ func (t *Table) String() string {
 	for _, row := range t.rows {
 		writeRow(row)
 	}
+	for _, note := range t.footnotes {
+		fmt.Fprintf(&b, "* %s\n", note)
+	}
 	return b.String()
 }
 
@@ -82,6 +104,9 @@ func (t *Table) Markdown() string {
 	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
 	for _, row := range t.rows {
 		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, note := range t.footnotes {
+		b.WriteString("\n\\* " + note + "\n")
 	}
 	return b.String()
 }

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Exposition. /metrics serves the Prometheus text format; /debug/vars
+// serves an expvar-style JSON snapshot (histograms summarised with
+// approximate quantiles); /debug/pprof/* is the standard pprof mux.
+// Output is sorted by series name so a scrape is deterministic —
+// that is what the golden-file test pins.
+
+// fmtFloat renders a float the way the Prometheus text format expects.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// seconds converts nanoseconds to the seconds unit the exposition uses.
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format, sorted by (family, labels). It holds the registry
+// read lock only while copying the series list — never while reading
+// values or writing to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range r.snapshot() {
+		if s.name != lastFamily {
+			lastFamily = s.name
+			if s.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, typeName(s.kind))
+		}
+		writeSeries(&b, s)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func typeName(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		// Gauges and timestamps both expose as gauge.
+		return "gauge"
+	}
+}
+
+// writeSeries renders one series' sample lines.
+func writeSeries(b *strings.Builder, s *series) {
+	withLabels := func(extra string) string {
+		labels := s.labels
+		if extra != "" {
+			if labels != "" {
+				labels += ","
+			}
+			labels += extra
+		}
+		if labels == "" {
+			return ""
+		}
+		return "{" + labels + "}"
+	}
+	switch inst := s.inst.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", s.name, withLabels(""), inst.Value())
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %d\n", s.name, withLabels(""), inst.Value())
+	case *Stamp:
+		var v float64
+		if t, ok := inst.Time(); ok {
+			v = seconds(t.UnixNano())
+		}
+		fmt.Fprintf(b, "%s%s %s\n", s.name, withLabels(""), fmtFloat(v))
+	case *Histogram:
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			cum += inst.buckets[i].Load()
+			le := `le="` + fmtFloat(seconds(histBound(i))) + `"`
+			fmt.Fprintf(b, "%s_bucket%s %d\n", s.name, withLabels(le), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", s.name, withLabels(`le="+Inf"`), inst.Count())
+		fmt.Fprintf(b, "%s_sum%s %s\n", s.name, withLabels(""), fmtFloat(seconds(inst.sum.Load())))
+		fmt.Fprintf(b, "%s_count%s %d\n", s.name, withLabels(""), inst.Count())
+	}
+}
+
+// Snapshot returns an expvar-style view of every series: counters and
+// gauges as numbers, timestamps as Unix seconds, histograms summarised
+// with count, sum and approximate quantiles. json.Marshal sorts the map
+// keys, so the JSON form is deterministic too.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, s := range r.snapshot() {
+		switch inst := s.inst.(type) {
+		case *Counter:
+			out[s.key()] = inst.Value()
+		case *Gauge:
+			out[s.key()] = inst.Value()
+		case *Stamp:
+			var v float64
+			if t, ok := inst.Time(); ok {
+				v = seconds(t.UnixNano())
+			}
+			out[s.key()] = v
+		case *Histogram:
+			out[s.key()] = map[string]any{
+				"count":       inst.Count(),
+				"sum_seconds": seconds(inst.sum.Load()),
+				"p50_seconds": inst.Quantile(0.50).Seconds(),
+				"p95_seconds": inst.Quantile(0.95).Seconds(),
+				"p99_seconds": inst.Quantile(0.99).Seconds(),
+			}
+		}
+	}
+	return out
+}
+
+// Handler returns the registry's HTTP mux: /metrics, /debug/vars and
+// /debug/pprof/*. The mux carries no authentication — bind it to
+// loopback unless something in front of it adds auth.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves the registry's Handler in the background,
+// returning the listener (so ":0" callers can learn the bound port).
+func (r *Registry) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	go http.Serve(ln, r.Handler())
+	return ln, nil
+}
+
+// LoopbackAddr reports whether addr names a loopback bind. An empty
+// host (":9090") binds every interface and is not loopback.
+func LoopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" {
+		return false
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// Start is the daemon-side convenience behind every -metrics-addr flag:
+// empty addr disables the endpoint (nil listener, nil error); a
+// non-loopback addr is served but loudly flagged, because the endpoint
+// is unauthenticated (see the README threat-model note). logf (log.Printf
+// shaped, may be nil) receives the bound address and any warning.
+func Start(addr string, logf func(format string, args ...any)) (net.Listener, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if !LoopbackAddr(addr) {
+		logf("WARNING: metrics endpoint %s is not loopback-bound; it is unauthenticated (metrics, /debug/vars, pprof) — keep it local or front it with auth", addr)
+	}
+	ln, err := Default().Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	logf("metrics: http://%s/metrics (JSON snapshot /debug/vars, profiles /debug/pprof/)", ln.Addr())
+	return ln, nil
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with one series of every kind and
+// fixed observations, so its exposition is byte-for-byte deterministic.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("demo_appended_entries_total", "Entries committed into the tree.")
+	c.Add(12345)
+	r.Counter("demo_drained_total", "Entries drained per shard.", "shard", "0").Add(40)
+	r.Counter("demo_drained_total", "Entries drained per shard.", "shard", "10").Add(2)
+	r.Counter("demo_drained_total", "Entries drained per shard.", "shard", "2").Add(17)
+	r.Gauge("demo_buffered_entries", "Entries waiting in shard buffers.").Set(-3)
+	r.Stamp("demo_last_commit_unix_seconds", "When the last commit landed.").
+		Set(time.Unix(1700000000, 250000000))
+	h := r.Histogram("demo_cycle_phase_seconds", "Cycle phase latency.", "phase", "sign")
+	h.Observe(500 * time.Nanosecond) // le 1e-06
+	h.Observe(90 * time.Microsecond) // le 0.000128
+	h.Observe(3 * time.Millisecond)  // le 0.004096
+	h.Observe(3 * time.Millisecond)  // le 0.004096
+	h.Observe(2 * time.Second)       // le 2.097152
+	h.Observe(20 * time.Second)      // +Inf overflow
+	return r
+}
+
+// TestPrometheusGolden pins the exact text exposition format against a
+// golden file: ordering, HELP/TYPE lines, label rendering, histogram
+// bucket bounds and the counter/gauge/timestamp value formats.
+func TestPrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHandlerEndpoints drives the HTTP mux end to end: /metrics serves
+// the text format, /debug/vars decodes as JSON, pprof answers.
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(metrics, "demo_appended_entries_total 12345") {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `demo_cycle_phase_seconds_bucket{phase="sign",le="+Inf"} 6`) {
+		t.Errorf("/metrics missing histogram +Inf bucket:\n%s", metrics)
+	}
+
+	vars, _ := get("/debug/vars")
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(vars), &snap); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if snap["demo_appended_entries_total"] != float64(12345) {
+		t.Errorf("/debug/vars counter = %v", snap["demo_appended_entries_total"])
+	}
+
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+// TestLoopbackAddr pins the bind classification behind the
+// -metrics-addr warning.
+func TestLoopbackAddr(t *testing.T) {
+	cases := map[string]bool{
+		"127.0.0.1:0":    true,
+		"127.0.0.1:9090": true,
+		"localhost:9090": true,
+		"[::1]:9090":     true,
+		"0.0.0.0:9090":   false,
+		":9090":          false,
+		"10.0.0.5:9090":  false,
+		"example.com:80": false,
+	}
+	for addr, want := range cases {
+		if got := LoopbackAddr(addr); got != want {
+			t.Errorf("LoopbackAddr(%q) = %v, want %v", addr, got, want)
+		}
+	}
+}

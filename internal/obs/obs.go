@@ -1,0 +1,332 @@
+// Package obs is the runtime telemetry plane: a dependency-free
+// registry of counters, gauges, latency histograms and "last event"
+// timestamps, with Prometheus text-format exposition, an expvar-style
+// JSON snapshot and the pprof mux (expose.go), plus the per-cycle trace
+// record the sharded append pipeline threads through its commit path
+// (trace.go).
+//
+// The design contract is that the *write* side is lock-cheap: every
+// instrument is a handful of atomics, and the registry mutex is touched
+// only when an instrument is created (setup time) or the registry is
+// scraped — never on Observe/Add/Set/Mark. A scrape therefore cannot
+// block a sequencer commit, and a commit holding the log lock across an
+// fsync cannot block a scrape. Instruments are resolved once (package
+// init in the instrumented packages) and used forever; the hot path
+// never performs a map lookup.
+//
+// A registry can be disabled wholesale (SetEnabled), turning every
+// instrument operation into one atomic load — that is the switch the
+// E17 telemetry-overhead benchmark flips to compare the instrumented
+// pipeline against the bare one.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind discriminates the instrument families for exposition.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindStamp
+	kindHistogram
+)
+
+// series is one registered instrument: a metric family name plus a
+// rendered label set.
+type series struct {
+	name   string // family name, e.g. translog_cycle_phase_seconds
+	labels string // rendered `k="v",k2="v2"`, empty for no labels
+	help   string
+	kind   kind
+	inst   any // *Counter, *Gauge, *Stamp or *Histogram
+}
+
+// key is the unique series identity within a registry.
+func (s *series) key() string {
+	if s.labels == "" {
+		return s.name
+	}
+	return s.name + "{" + s.labels + "}"
+}
+
+// Registry holds a set of instruments. The zero value is not usable;
+// call NewRegistry (or use Default).
+type Registry struct {
+	enabled atomic.Bool
+
+	// mu guards the series map only: instrument creation and scrape.
+	// Instrument writes never touch it — see the package contract.
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	r := &Registry{series: make(map[string]*series)}
+	r.enabled.Store(true)
+	return r
+}
+
+// def is the process-wide default registry the daemons expose.
+var def = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def }
+
+// SetEnabled turns the whole registry on or off. Disabled, every
+// instrument operation reduces to one atomic load; values stop moving
+// but remain readable and scrapeable.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is recording.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// renderLabels turns alternating key, value pairs into the canonical
+// `k="v"` form. Values are escaped per the Prometheus text format.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		v := pairs[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// lookup returns the instrument registered under (name, labels),
+// creating it via make when absent. Registering the same series twice
+// returns the same instrument; registering it under a different kind is
+// a programming error and panics.
+func (r *Registry) lookup(k kind, name, help string, labels []string, make func() any) any {
+	s := &series{name: name, labels: renderLabels(labels), help: help, kind: k}
+	key := s.key()
+	r.mu.RLock()
+	got := r.series[key]
+	r.mu.RUnlock()
+	if got == nil {
+		r.mu.Lock()
+		got = r.series[key]
+		if got == nil {
+			s.inst = make()
+			r.series[key] = s
+			got = s
+		}
+		r.mu.Unlock()
+	}
+	if got.kind != k {
+		panic(fmt.Sprintf("obs: series %s registered twice with different kinds", key))
+	}
+	return got.inst
+}
+
+// snapshot copies the registered series under the read lock; values are
+// read afterwards through their own atomics.
+func (r *Registry) snapshot() []*series {
+	r.mu.RLock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	reg *Registry
+	v   atomic.Uint64
+}
+
+// Counter registers (or returns) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(kindCounter, name, help, labels, func() any { return &Counter{reg: r} }).(*Counter)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !c.reg.enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (queue depth, peer count).
+type Gauge struct {
+	reg *Registry
+	v   atomic.Int64
+}
+
+// Gauge registers (or returns) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(kindGauge, name, help, labels, func() any { return &Gauge{reg: r} }).(*Gauge)
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !g.reg.enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the value by delta (negative to decrease). Deltas from
+// independent writers aggregate correctly where Set would fight.
+func (g *Gauge) Add(delta int64) {
+	if g == nil || !g.reg.enabled.Load() {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Stamp is a monotonic "last time this happened" marker, exposed as a
+// gauge holding Unix seconds. Zero means "never".
+type Stamp struct {
+	reg *Registry
+	v   atomic.Int64 // Unix nanoseconds
+}
+
+// Stamp registers (or returns) the timestamp series name{labels}. Name
+// it like *_unix_seconds: the exposed value is Unix seconds.
+func (r *Registry) Stamp(name, help string, labels ...string) *Stamp {
+	return r.lookup(kindStamp, name, help, labels, func() any { return &Stamp{reg: r} }).(*Stamp)
+}
+
+// Mark records "now".
+func (s *Stamp) Mark() { s.Set(time.Now()) }
+
+// Set records an explicit time (tests and replay).
+func (s *Stamp) Set(t time.Time) {
+	if s == nil || !s.reg.enabled.Load() {
+		return
+	}
+	s.v.Store(t.UnixNano())
+}
+
+// Time returns the recorded time; ok=false when never marked.
+func (s *Stamp) Time() (time.Time, bool) {
+	ns := s.v.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
+// Histogram latency buckets: exponential powers of two from 1µs, so
+// histBound(0)=1µs, histBound(1)=2µs, … histBound(23)≈8.4s, plus an
+// overflow (+Inf) bucket. Fixed bounds keep Observe allocation-free and
+// branch-cheap; the range covers a cache-hit shard drain through a
+// pathological multi-second fsync stall.
+const histBuckets = 24
+
+// histBound returns bucket i's upper bound in nanoseconds.
+func histBound(i int) int64 { return int64(1000) << uint(i) }
+
+// bucketIndex returns the bucket for duration d: the smallest i with
+// d <= histBound(i), or histBuckets for overflow.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	us := (uint64(d) + 999) / 1000 // ceil to µs
+	i := bits.Len64(us - 1)
+	if i > histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Histogram is a latency distribution with atomic exponential buckets.
+// Unlike metrics.Histogram (the offline bench harness), it keeps no
+// samples: Observe is three atomic adds, safe on the append hot path.
+type Histogram struct {
+	reg     *Registry
+	buckets [histBuckets + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Histogram registers (or returns) the latency series name{labels}.
+// Name it like *_seconds: the exposed buckets and sum are in seconds.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.lookup(kindHistogram, name, help, labels, func() any { return &Histogram{reg: r} }).(*Histogram)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil || !h.reg.enabled.Load() {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile approximates the q-quantile (0 < q <= 1) as the upper bound
+// of the bucket the rank lands in — good enough for a snapshot glance;
+// exact percentiles belong to the offline metrics.Histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return time.Duration(histBound(i))
+		}
+	}
+	// Overflow bucket: report one step past the largest finite bound.
+	return time.Duration(histBound(histBuckets))
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentWritesDuringScrape hammers every instrument type from
+// many goroutines while the registry is scraped concurrently — run
+// under -race this pins that the write side and the exposition side
+// share no unsynchronised state.
+func TestConcurrentWritesDuringScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	h := r.Histogram("test_latency_seconds", "latency")
+	st := r.Stamp("test_last_unix_seconds", "last")
+
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			r.Snapshot()
+			// Creating series during a scrape must be safe too.
+			r.Counter("test_created_mid_scrape_total", "late")
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				st.Mark()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+// TestHotPathHoldsNoRegistryLock pins the package contract that a
+// scrape (or anything else holding the registry mutex — e.g. a slow
+// /metrics response) can never block an instrument write: the write
+// side must complete while the registry lock is held. This is the
+// property that keeps a scrape from ever stalling a sequencer commit
+// that observes histograms while holding the log lock across an fsync.
+func TestHotPathHoldsNoRegistryLock(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("locked_ops_total", "ops")
+	g := r.Gauge("locked_depth", "depth")
+	h := r.Histogram("locked_latency_seconds", "latency")
+	st := r.Stamp("locked_last_unix_seconds", "last")
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.Inc()
+		g.Set(7)
+		h.Observe(time.Millisecond)
+		st.Mark()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("instrument write blocked while the registry lock was held")
+	}
+	if c.Value() != 1 || g.Value() != 7 || h.Count() != 1 {
+		t.Fatalf("writes lost under held registry lock: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+// TestDisabledRegistryRecordsNothing pins the SetEnabled(false) switch
+// the E17 overhead benchmark relies on.
+func TestDisabledRegistryRecordsNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("off_total", "off")
+	h := r.Histogram("off_seconds", "off")
+	r.SetEnabled(false)
+	c.Add(5)
+	h.Observe(time.Second)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded: c=%d h=%d", c.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Add(5)
+	if c.Value() != 5 {
+		t.Fatalf("re-enabled registry did not record: c=%d", c.Value())
+	}
+}
+
+// TestBucketIndex pins the bucket boundaries.
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+		{8 * time.Second, 23},
+		{9 * time.Second, histBuckets},
+		{time.Minute, histBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestQuantileApproximation sanity-checks the bucketed quantiles.
+func TestQuantileApproximation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "q")
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket bound 128µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond) // bucket bound ~16ms
+	}
+	if got := h.Quantile(0.50); got != 128*time.Microsecond {
+		t.Errorf("p50 = %v, want 128µs", got)
+	}
+	if got := h.Quantile(0.99); got < 10*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 10ms", got)
+	}
+}
+
+// TestSameSeriesSameInstrument pins get-or-create idempotence.
+func TestSameSeriesSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "dup", "shard", "3")
+	b := r.Counter("dup_total", "dup", "shard", "3")
+	if a != b {
+		t.Fatal("same series returned two instruments")
+	}
+	other := r.Counter("dup_total", "dup", "shard", "4")
+	if a == other {
+		t.Fatal("different labels shared an instrument")
+	}
+}
+
+// TestCycleTraceString pins the slow-cycle line's structured shape.
+func TestCycleTraceString(t *testing.T) {
+	tr := &CycleTrace{
+		Entries:  2048,
+		Hosts:    []ShardContribution{{Shard: 3, Entries: 1024}, {Shard: 7, Entries: 1024}},
+		Gather:   1500 * time.Microsecond,
+		Marshal:  2 * time.Millisecond,
+		TreeHash: 3 * time.Millisecond,
+		Sign:     500 * time.Microsecond,
+		WALSync:  10 * time.Millisecond,
+		Anchor:   time.Millisecond,
+		Total:    18 * time.Millisecond,
+	}
+	want := `{"total_ms":18.000,"entries":2048,"phases_ms":{"gather":1.500,"marshal":2.000,"merkle":3.000,"sign":0.500,"wal_sync":10.000,"anchor":1.000},"shards":[{"shard":3,"entries":1024},{"shard":7,"entries":1024}]}`
+	if got := tr.String(); got != want {
+		t.Fatalf("trace line:\n got %s\nwant %s", got, want)
+	}
+	tr.Reset()
+	if tr.Entries != 0 || len(tr.Hosts) != 0 || tr.Total != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}

@@ -123,6 +123,7 @@ func (g *GossipPool) Conflict() *ConflictError {
 func (g *GossipPool) latch(err error) error {
 	var ce *ConflictError
 	if errors.As(err, &ce) {
+		convictionCounter(ce).Inc()
 		g.mu.Lock()
 		if g.conflict == nil {
 			g.conflict = ce
@@ -201,16 +202,24 @@ func (g *GossipPool) corroboratePeerConviction(ce *ConflictError) error {
 // (transport errors included — a witness that cannot reach its peers is
 // degraded, not convicted).
 func (g *GossipPool) Exchange() error {
+	start := time.Now()
 	var errs []error
 	if g.log != nil {
 		sth, err := g.log.STH()
 		if err != nil {
 			errs = append(errs, err)
-		} else if err := g.latch(g.w.Advance(sth, g.fetchConsistency)); err != nil {
-			errs = append(errs, err)
+		} else {
+			if last, seen := g.w.Last(); seen && sth.Size >= last.Size {
+				mGossipHeadLag.Set(int64(sth.Size - last.Size))
+			}
+			if err := g.latch(g.w.Advance(sth, g.fetchConsistency)); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
-	for _, p := range g.Peers() {
+	peers := g.Peers()
+	mGossipPeers.Set(int64(len(peers)))
+	for _, p := range peers {
 		last, seen := g.w.Last()
 		head, ok, err := p.ExchangeGossip(g.name, last, seen)
 		if err != nil {
@@ -233,7 +242,14 @@ func (g *GossipPool) Exchange() error {
 			errs = append(errs, err)
 		}
 	}
-	return errors.Join(errs...)
+	err := errors.Join(errs...)
+	mGossipExchanges.Inc()
+	if err != nil {
+		mGossipErrors.Inc()
+	}
+	mGossipSeconds.Observe(time.Since(start))
+	mGossipLast.Mark()
+	return err
 }
 
 // JitterSource yields uniform samples in [0, 1) for exchange-loop

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"vnfguard/internal/obs"
 )
 
 // Errors.
@@ -201,12 +203,20 @@ func (l *Log) AppendBatch(batch []Entry) ([]uint64, error) {
 // the log lock here. Returns the first committed index; the batch
 // occupies [first, first+len(batch)).
 func (l *Log) appendPrepared(batch []Entry, payloads [][]byte, hashes []Hash) (uint64, error) {
+	return l.appendPreparedTraced(batch, payloads, hashes, nil)
+}
+
+// appendPreparedTraced is appendPrepared with an optional per-cycle
+// trace (the sequencer threads its cycle record through; ordinary
+// batches pass nil). The phase histograms are observed either way.
+func (l *Log) appendPreparedTraced(batch []Entry, payloads [][]byte, hashes []Hash, tr *obs.CycleTrace) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	first := l.entries.count()
 	for _, p := range payloads {
 		l.entries.add(p)
 	}
+	phase := time.Now()
 	size := l.tree.appendParallel(hashes, prepareWorkers())
 	// The commit must be atomic: a failure after the tree grew would
 	// leave entries that a later head signs over but the serial indexes
@@ -220,10 +230,18 @@ func (l *Log) appendPrepared(batch []Entry, payloads [][]byte, hashes []Hash) (u
 		rollback()
 		return 0, err
 	}
+	merkle := time.Since(phase)
+	mPhaseMerkle.Observe(merkle)
+	phase = time.Now()
 	sth, err := l.signHead(size, root)
 	if err != nil {
 		rollback()
 		return 0, err
+	}
+	sign := time.Since(phase)
+	mPhaseSign.Observe(sign)
+	if tr != nil {
+		tr.TreeHash, tr.Sign = merkle, sign
 	}
 	if l.store != nil {
 		// A sharded store routes each record to its host's segment
@@ -245,7 +263,7 @@ func (l *Log) appendPrepared(batch []Entry, payloads [][]byte, hashes []Hash) (u
 		// reader can obtain a proof against it. A failed persist rolls
 		// the in-memory state back and latches the store failed, so the
 		// log never acknowledges an entry the disk may not hold.
-		if err := l.store.appendBatch(payloads, shardIdx, sth); err != nil {
+		if err := l.store.appendBatch(payloads, shardIdx, sth, tr); err != nil {
 			rollback()
 			return 0, err
 		}
@@ -254,6 +272,9 @@ func (l *Log) appendPrepared(batch []Entry, payloads [][]byte, hashes []Hash) (u
 	for i, e := range batch {
 		l.indexEntry(e, first+uint64(i))
 	}
+	mCommits.Inc()
+	mAppendedEntries.Add(uint64(len(batch)))
+	mLastCommit.Mark()
 	return first, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // Recovery: opening a durable log replays every segment, truncates a torn
@@ -98,6 +99,7 @@ func applyTrims(trims []trimOp) error {
 // and verifies it against the trust-anchor chain (the built-in sthAnchor
 // first, then any extras).
 func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []TrustAnchor) (*recovered, error) {
+	recoverStart := time.Now()
 	if cfg.Shards > maxShardSlots {
 		return nil, fmt.Errorf("translog: %d shards exceeds the %d-slot segment naming limit", cfg.Shards, maxShardSlots)
 	}
@@ -169,6 +171,16 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 	sth, have := sthAnchor.Persisted()
 	rec.sth = sth
 	rec.sthStale = !have || size != sth.Size
+	mRecoverEntries.Add(uint64(len(rec.entries)))
+	for _, op := range trims {
+		if op.remove {
+			mRecoverRemovedSegs.Inc()
+		} else {
+			mRecoverTornTails.Inc()
+		}
+	}
+	mRecoverSeconds.Observe(time.Since(recoverStart))
+	mRecoverLast.Mark()
 	return rec, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"vnfguard/internal/epid"
 	"vnfguard/internal/sgx"
@@ -308,12 +309,14 @@ func (a *SealedHeadAnchor) CheckRecovery(state *RecoveredState) error {
 func (a *SealedHeadAnchor) CommitHead(sth SignedTreeHead) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	sealStart := time.Now()
 	raw, err := a.enclave.ECall(ecallSealedCommit, mustJSON(sealedCommitArgs{
 		Counter: a.counter, TreeSize: sth.Size, RootHash: sth.RootHash, AAD: a.aad,
 	}))
 	if err != nil {
 		return fmt.Errorf("translog: sealing head: %w", err)
 	}
+	mSealedSeal.Observe(time.Since(sealStart))
 	var rep sealedCommitReply
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		return err
@@ -321,11 +324,13 @@ func (a *SealedHeadAnchor) CommitHead(sth SignedTreeHead) error {
 	if err := a.writeBlob(rep.Blob); err != nil {
 		return err
 	}
+	bumpStart := time.Now()
 	if _, err := a.enclave.ECall(ecallSealedBump, mustJSON(sealedBumpArgs{
 		Counter: a.counter, Expect: rep.BumpTo,
 	})); err != nil {
 		return fmt.Errorf("translog: advancing sealed-head counter: %w", err)
 	}
+	mSealedBump.Observe(time.Since(bumpStart))
 	return nil
 }
 

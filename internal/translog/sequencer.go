@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"vnfguard/internal/obs"
 )
 
 // The merging sequencer: the background half of the ShardedAppender. It
@@ -54,16 +56,26 @@ type cycleBuffers struct {
 	// path, one per worker slot.
 	arena  []byte
 	arenas [][]byte
+	// trace is the cycle's phase/contribution record, reset per cycle.
+	// It rides the ping-ponged buffers so the pipelined gather of cycle
+	// N+1 never races the commit of cycle N over one trace.
+	trace obs.CycleTrace
 }
 
 // gatherPrepare drains one cycle's worth of shard buffers into bufs and
 // hashes it, nil when every buffer is empty.
 func (sa *ShardedAppender) gatherPrepare(bufs *cycleBuffers) *cycleBuffers {
-	bufs.batch = sa.gather(bufs.batch[:0])
+	bufs.trace.Reset()
+	start := time.Now()
+	bufs.batch = sa.gather(bufs.batch[:0], &bufs.trace)
 	if len(bufs.batch) == 0 {
 		return nil
 	}
+	bufs.trace.Entries = len(bufs.batch)
+	bufs.trace.Gather = time.Since(start)
+	start = time.Now()
 	prepareEntriesInto(bufs, sa.workers)
+	bufs.trace.Marshal = time.Since(start)
 	return bufs
 }
 
@@ -84,13 +96,23 @@ func (sa *ShardedAppender) commitCycle() {
 	for cur != nil {
 		next := make(chan *cycleBuffers, 1)
 		go func(bufs *cycleBuffers) { next <- sa.gatherPrepare(bufs) }(spare)
-		_, err := sa.log.appendPrepared(cur.batch, cur.payloads, cur.hashes)
+		commitStart := time.Now()
+		_, err := sa.log.appendPreparedTraced(cur.batch, cur.payloads, cur.hashes, &cur.trace)
 		if err != nil {
 			sa.mu.Lock()
 			if sa.err == nil {
 				sa.err = err
 			}
 			sa.mu.Unlock()
+		}
+		cur.trace.Total = cur.trace.Gather + cur.trace.Marshal + time.Since(commitStart)
+		mCycles.Inc()
+		mCycleSeconds.Observe(cur.trace.Total)
+		mPhaseGather.Observe(cur.trace.Gather)
+		mPhaseMarshal.Observe(cur.trace.Marshal)
+		if sa.slowBudget > 0 && cur.trace.Total > sa.slowBudget {
+			mSlowCycles.Inc()
+			sa.slowLog("translog: slow sequencer cycle (budget %v): %s", sa.slowBudget, &cur.trace)
 		}
 		spare = cur // cur's commit is done; its buffers are free again
 		cur = <-next
@@ -102,13 +124,15 @@ func (sa *ShardedAppender) commitCycle() {
 }
 
 // gather drains up to MaxBatch entries from each shard into batch,
-// round-robin from a rotating start.
-func (sa *ShardedAppender) gather(batch []Entry) []Entry {
+// round-robin from a rotating start, recording each shard's
+// contribution in tr.
+func (sa *ShardedAppender) gather(batch []Entry, tr *obs.CycleTrace) []Entry {
 	n := len(sa.shards)
 	start := sa.next
 	sa.next = (start + 1) % n
 	for i := 0; i < n; i++ {
-		sh := sa.shards[(start+i)%n]
+		slot := (start + i) % n
+		sh := sa.shards[slot]
 		sh.mu.Lock()
 		take := sh.buffered()
 		if take > sa.maxBatch {
@@ -134,6 +158,11 @@ func (sa *ShardedAppender) gather(batch []Entry) []Entry {
 			}
 		}
 		sh.mu.Unlock()
+		if take > 0 {
+			tr.Hosts = append(tr.Hosts, obs.ShardContribution{Shard: slot, Entries: take})
+			sa.shardInst[slot].drained.Add(uint64(take))
+			sa.shardInst[slot].buffered.Add(-int64(take))
+		}
 	}
 	return batch
 }

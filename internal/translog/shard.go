@@ -2,6 +2,7 @@ package translog
 
 import (
 	"hash/fnv"
+	stdlog "log"
 	"sync"
 	"time"
 )
@@ -75,6 +76,17 @@ type ShardedAppenderConfig struct {
 	// FlushInterval bounds how long a buffered entry waits for a cycle
 	// (default 5ms).
 	FlushInterval time.Duration
+	// SlowCycleBudget, when > 0, makes the sequencer emit one
+	// structured diagnostic line for any cycle whose end-to-end latency
+	// (gather through anchor commit) exceeds it: the full phase
+	// breakdown plus which shard slots fed the cycle and how many
+	// entries each contributed (obs.CycleTrace). Zero disables the log;
+	// the translog_sequencer_cycle_seconds histogram records latency
+	// either way.
+	SlowCycleBudget time.Duration
+	// SlowCycleLog receives the slow-cycle lines (log.Printf shaped).
+	// Defaults to the standard logger.
+	SlowCycleLog func(format string, args ...any)
 }
 
 // hostShard is one host slot's buffer. Append touches only this lock, so
@@ -100,6 +112,11 @@ type ShardedAppender struct {
 	maxBatch int
 	interval time.Duration
 	workers  int
+	// shardInst are the pre-resolved per-shard telemetry handles; the
+	// slow-cycle diagnostic is configured alongside them.
+	shardInst  []shardInstrument
+	slowBudget time.Duration
+	slowLog    func(format string, args ...any)
 
 	// mu guards the commit-visible state the Flush/Close contract hangs
 	// off; the idle cond broadcasts whenever a cycle finishes.
@@ -136,14 +153,20 @@ func NewShardedAppender(log *Log, cfg ShardedAppenderConfig) *ShardedAppender {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 5 * time.Millisecond
 	}
+	if cfg.SlowCycleLog == nil {
+		cfg.SlowCycleLog = stdlog.Printf
+	}
 	sa := &ShardedAppender{
-		log:      log,
-		shards:   make([]*hostShard, shards),
-		maxBatch: cfg.MaxBatch,
-		interval: cfg.FlushInterval,
-		workers:  prepareWorkers(),
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		log:        log,
+		shards:     make([]*hostShard, shards),
+		maxBatch:   cfg.MaxBatch,
+		interval:   cfg.FlushInterval,
+		workers:    prepareWorkers(),
+		shardInst:  shardInstruments(shards),
+		slowBudget: cfg.SlowCycleBudget,
+		slowLog:    cfg.SlowCycleLog,
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
 	}
 	for i := range sa.shards {
 		sa.shards[i] = &hostShard{}
@@ -160,7 +183,8 @@ func (sa *ShardedAppender) Shards() int { return len(sa.shards) }
 // shard's lock — producers for different hosts proceed in parallel —
 // and never blocks on hashing, signing or fsync.
 func (sa *ShardedAppender) Append(e Entry) error {
-	sh := sa.shards[ShardOf(e.Host, len(sa.shards))]
+	slot := ShardOf(e.Host, len(sa.shards))
+	sh := sa.shards[slot]
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
@@ -169,6 +193,7 @@ func (sa *ShardedAppender) Append(e Entry) error {
 	sh.pending = append(sh.pending, e)
 	full := sh.buffered() >= sa.maxBatch
 	sh.mu.Unlock()
+	sa.shardInst[slot].buffered.Add(1)
 	if full {
 		sa.wake()
 	}

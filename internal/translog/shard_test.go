@@ -787,13 +787,15 @@ func TestShardedFlushWaitsOutFinalCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	sa := &ShardedAppender{
-		log:      l,
-		shards:   []*hostShard{{}, {}},
-		maxBatch: 4,
-		interval: time.Hour,
-		workers:  1,
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		log:       l,
+		shards:    []*hostShard{{}, {}},
+		maxBatch:  4,
+		interval:  time.Hour,
+		workers:   1,
+		shardInst: shardInstruments(2),
+		slowLog:   func(string, ...any) {},
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	sa.idle = sync.NewCond(&sa.mu)
 	sa.shards[0].pending = []Entry{{Type: EntryAttestOK, Actor: "late", Host: "host-0", Detail: "OK"}}

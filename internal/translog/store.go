@@ -10,6 +10,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"vnfguard/internal/obs"
 )
 
 // Durable-state errors. Recovery distinguishes the three ways a statedir
@@ -116,6 +119,10 @@ type Store struct {
 	// anchors is the full trust-anchor chain, the built-in STHAnchor
 	// first: every committed head flows through each of them.
 	anchors []TrustAnchor
+	// anchorHist are the chain's pre-resolved per-anchor commit-latency
+	// histograms, parallel to anchors — resolved once at open so the
+	// commit path never touches the telemetry registry.
+	anchorHist []*obs.Histogram
 
 	mu sync.Mutex
 	// shards is the active layout: 0 for the legacy single stream,
@@ -168,6 +175,9 @@ func openStoreDir(dir string, cfg StoreConfig, anchors []TrustAnchor, rec *recov
 		cfg.SegmentMaxBytes = defaultSegmentMaxBytes
 	}
 	s := &Store{dir: dir, cfg: cfg, anchors: anchors, shards: rec.shards, size: uint64(len(rec.entries))}
+	for _, a := range anchors {
+		s.anchorHist = append(s.anchorHist, anchorHistogram(a.Name()))
+	}
 	for i, tail := range rec.tails {
 		st := &stream{shard: -1, count: tail.count}
 		if rec.shards > 0 {
@@ -211,7 +221,9 @@ func (s *Store) shardCount() int { return s.shards }
 // leave a head signing entries that were never written. The anchor chain
 // runs under the same lock, so a batch is acknowledged only once every
 // anchor (persisted head, witness head, sealed counter) has recorded it.
-func (s *Store) appendBatch(payloads [][]byte, shardIdx []int, sth SignedTreeHead) error {
+// tr, when non-nil, receives the cycle's wal_sync and anchor_commit
+// phase durations (the sequencer's trace record).
+func (s *Store) appendBatch(payloads [][]byte, shardIdx []int, sth SignedTreeHead, tr *obs.CycleTrace) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failed != nil {
@@ -231,6 +243,7 @@ func (s *Store) appendBatch(payloads [][]byte, shardIdx []int, sth SignedTreeHea
 			return fmt.Errorf("%w: encoding is %d bytes, record limit %d", ErrEntryTooLarge, len(p), limit)
 		}
 	}
+	phase := time.Now()
 	var err error
 	if s.shards > 0 {
 		err = s.writeShardedRecords(payloads, shardIdx)
@@ -247,9 +260,17 @@ func (s *Store) appendBatch(payloads [][]byte, shardIdx []int, sth SignedTreeHea
 		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
 		return s.failed
 	}
+	walSync := time.Since(phase)
+	mPhaseWALSync.Observe(walSync)
+	phase = time.Now()
 	if err := s.commitHeadLocked(sth); err != nil {
 		s.failed = fmt.Errorf("%w: %w", ErrStoreFailed, err)
 		return s.failed
+	}
+	anchor := time.Since(phase)
+	mPhaseAnchor.Observe(anchor)
+	if tr != nil {
+		tr.WALSync, tr.Anchor = walSync, anchor
 	}
 	s.size += uint64(len(payloads))
 	return nil
@@ -314,10 +335,12 @@ func (s *Store) commitHead(sth SignedTreeHead) error {
 // commitHeadLocked records sth with every trust anchor, in order.
 // Callers hold s.mu.
 func (s *Store) commitHeadLocked(sth SignedTreeHead) error {
-	for _, a := range s.anchors {
+	for i, a := range s.anchors {
+		start := time.Now()
 		if err := a.CommitHead(sth); err != nil {
 			return fmt.Errorf("translog: %s anchor: %w", a.Name(), err)
 		}
+		s.anchorHist[i].Observe(time.Since(start))
 	}
 	return nil
 }
@@ -342,6 +365,7 @@ func (st *stream) write(s *Store, n, sizeHint int, frame func(i int, dst []byte)
 		if _, err := st.active.Write(pending); err != nil {
 			return fmt.Errorf("translog: writing segment: %w", err)
 		}
+		mWALBytes.Add(uint64(len(pending)))
 		st.activeSize += int64(len(pending))
 		pending = pending[:0]
 		return nil
@@ -366,6 +390,7 @@ func (st *stream) write(s *Store, n, sizeHint int, frame func(i int, dst []byte)
 		if err := st.active.Sync(); err != nil {
 			return fmt.Errorf("translog: fsync segment: %w", err)
 		}
+		mWALFsyncs.Inc()
 	}
 	st.count = next
 	return nil
@@ -379,11 +404,13 @@ func (st *stream) rotate(s *Store, first uint64) error {
 			if err := st.active.Sync(); err != nil {
 				return fmt.Errorf("translog: fsync segment: %w", err)
 			}
+			mWALFsyncs.Inc()
 		}
 		if err := st.active.Close(); err != nil {
 			return fmt.Errorf("translog: closing segment: %w", err)
 		}
 		st.active = nil
+		mWALRolls.Inc()
 	}
 	path := filepath.Join(s.dir, st.name(first))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)

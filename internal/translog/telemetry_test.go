@@ -1,0 +1,183 @@
+package translog
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vnfguard/internal/obs"
+)
+
+// TestScrapeNeverBlocksSequencerCommit pins the telemetry contract: a
+// /metrics scrape (which snapshots the registry under its lock) must
+// never stall a sequencer commit, because the hot path only touches
+// pre-resolved atomic instruments — no registry map, no registry mutex.
+// Run under -race this also exercises concurrent instrument writes
+// against the exposition walk.
+func TestScrapeNeverBlocksSequencerCommit(t *testing.T) {
+	key := testSigner(t)
+	dir := t.TempDir()
+	l, err := OpenDurableLog(key, dir, StoreConfig{Shards: 4, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	sa := NewShardedAppender(l, ShardedAppenderConfig{Shards: 4, FlushInterval: time.Millisecond})
+
+	stop := make(chan struct{})
+	var scrapes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := obs.Default().WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+			obs.Default().Snapshot()
+			scrapes.Add(1)
+		}
+	}()
+
+	before := mAppendedEntries.Value()
+	cyclesBefore, commitsBefore, fsyncsBefore := mCycles.Value(), mCommits.Value(), mWALFsyncs.Value()
+	const entries = 512
+	for i := 0; i < entries; i++ {
+		e := Entry{Type: EntryAttestOK, Actor: "vnf", Host: fmt.Sprintf("host-%d", i%8), Detail: "OK"}
+		if err := sa.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := mAppendedEntries.Value() - before; got < entries {
+		t.Fatalf("translog_appended_entries_total grew by %d, want >= %d", got, entries)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("scraper never completed a pass while the sequencer committed")
+	}
+	// Every phase must have recorded at least one observation per cycle.
+	for _, h := range []*obs.Histogram{mPhaseGather, mPhaseMarshal, mPhaseMerkle, mPhaseSign, mPhaseWALSync, mPhaseAnchor} {
+		if h.Count() == 0 {
+			t.Fatal("a commit phase histogram recorded nothing during the workload")
+		}
+	}
+	cycles, commits, fsyncs := mCycles.Value()-cyclesBefore, mCommits.Value()-commitsBefore, mWALFsyncs.Value()-fsyncsBefore
+	if cycles == 0 || commits == 0 || fsyncs != 0 {
+		// NoSync store: cycles and commits count, fsyncs must not.
+		t.Fatalf("cycles=%d commits=%d fsyncs=%d", cycles, commits, fsyncs)
+	}
+}
+
+// TestSlowCycleLogEmitsTrace pins the slow-cycle diagnostic: with a
+// 1ns budget every cycle is over budget, and each emitted line carries
+// the structured phase breakdown and shard contributions.
+func TestSlowCycleLogEmitsTrace(t *testing.T) {
+	key := testSigner(t)
+	l, err := NewLog(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var lines []string
+	slow := mSlowCycles.Value()
+	sa := NewShardedAppender(l, ShardedAppenderConfig{
+		Shards:          2,
+		FlushInterval:   time.Millisecond,
+		SlowCycleBudget: time.Nanosecond,
+		SlowCycleLog: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	if err := sa.Append(Entry{Type: EntryAttestOK, Actor: "vnf", Host: "host-a", Detail: "OK"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no slow-cycle line emitted with a 1ns budget")
+	}
+	line := lines[0]
+	for _, want := range []string{"slow sequencer cycle", `"entries":1`, `"phases_ms"`, `"gather"`, `"wal_sync"`, `"shards"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow-cycle line missing %q:\n%s", want, line)
+		}
+	}
+	if mSlowCycles.Value() <= slow {
+		t.Fatal("translog_sequencer_slow_cycles_total did not grow")
+	}
+}
+
+// TestRecoveryAndGossipCounters drives a crash-recovery reopen and a
+// gossip round and checks the series the README documents for them.
+func TestRecoveryAndGossipCounters(t *testing.T) {
+	key := testSigner(t)
+	dir := t.TempDir()
+	l, err := OpenDurableLog(key, dir, StoreConfig{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Entry{Type: EntryAttestOK, Actor: "vnf", Host: "h", Detail: "OK"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := mRecoverEntries.Value()
+	re, err := OpenDurableLog(key, dir, StoreConfig{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := mRecoverEntries.Value() - replayed; got != 3 {
+		t.Fatalf("translog_recovery_replayed_entries_total grew by %d, want 3", got)
+	}
+	if mRecoverSeconds.Count() == 0 {
+		t.Fatal("translog_recovery_seconds recorded nothing")
+	}
+	if _, ok := mRecoverLast.Time(); !ok {
+		t.Fatal("translog_recovery_last_unix_seconds not stamped")
+	}
+
+	// One gossip round against the reopened log via an in-process server.
+	logSrv := httptest.NewServer(Handler(re))
+	defer logSrv.Close()
+	w := NewWitness(&key.PublicKey)
+	g := NewGossipPool("w0", w, NewClient(logSrv.URL, &key.PublicKey))
+	exchanges := mGossipExchanges.Value()
+	if err := g.Exchange(); err != nil {
+		t.Fatal(err)
+	}
+	if mGossipExchanges.Value() <= exchanges {
+		t.Fatal("translog_gossip_exchanges_total did not grow")
+	}
+	if mGossipSeconds.Count() == 0 {
+		t.Fatal("translog_gossip_exchange_seconds recorded nothing")
+	}
+	if got := mWitnessHeadSize.Value(); got != 3 {
+		t.Fatalf("translog_witness_head_size = %d, want 3", got)
+	}
+}

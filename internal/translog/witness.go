@@ -143,6 +143,7 @@ func (w *Witness) Restore(sth SignedTreeHead) error {
 // w.mu.
 func (w *Witness) adoptLocked(sth SignedTreeHead) error {
 	w.last, w.seen = sth, true
+	mWitnessHeadSize.Set(int64(sth.Size))
 	if w.save == nil {
 		return nil
 	}

@@ -1,0 +1,38 @@
+package verifier
+
+import (
+	"vnfguard/internal/obs"
+	"vnfguard/internal/translog"
+)
+
+// Verdict telemetry: every trust decision the Verification Manager
+// commits to its transparency log is also counted here, labelled by
+// outcome, so an operator can watch attestation pass/fail rates and
+// credential lifecycle churn without scraping the log itself. Counters
+// are pre-resolved package handles — the audit paths never touch the
+// registry map (see internal/translog/telemetry.go for the contract).
+
+var (
+	verdictHelp     = "Trust decisions committed to the transparency log, labelled by outcome."
+	mVerdictEnroll  = obs.Default().Counter("verifier_verdicts_total", verdictHelp, "outcome", "enroll")
+	mVerdictAttOK   = obs.Default().Counter("verifier_verdicts_total", verdictHelp, "outcome", "attest_ok")
+	mVerdictAttFail = obs.Default().Counter("verifier_verdicts_total", verdictHelp, "outcome", "attest_fail")
+	mVerdictProv    = obs.Default().Counter("verifier_verdicts_total", verdictHelp, "outcome", "provision")
+	mVerdictRevoke  = obs.Default().Counter("verifier_verdicts_total", verdictHelp, "outcome", "revoke")
+)
+
+// countVerdict bumps the outcome counter for one audit entry.
+func countVerdict(t translog.EntryType) {
+	switch t {
+	case translog.EntryEnroll:
+		mVerdictEnroll.Inc()
+	case translog.EntryAttestOK:
+		mVerdictAttOK.Inc()
+	case translog.EntryAttestFail:
+		mVerdictAttFail.Inc()
+	case translog.EntryProvision:
+		mVerdictProv.Inc()
+	case translog.EntryRevoke:
+		mVerdictRevoke.Inc()
+	}
+}

@@ -73,6 +73,11 @@ func (m *Manager) auditSync(entries ...translog.Entry) error {
 		entries[i].Timestamp = now
 	}
 	_, err := m.tlog.AppendBatch(entries)
+	if err == nil {
+		for i := range entries {
+			countVerdict(entries[i].Type)
+		}
+	}
 	return err
 }
 
@@ -81,7 +86,9 @@ func (m *Manager) auditAsync(e translog.Entry) {
 	e.Timestamp = time.Now().UnixMilli()
 	// The only failure mode is a closed appender during shutdown; verdicts
 	// are still enforced locally, so dropping the audit write is safe.
-	_ = m.tlogAppender.Append(e)
+	if m.tlogAppender.Append(e) == nil {
+		countVerdict(e.Type)
+	}
 }
 
 // auditAppraisal records a host appraisal outcome.
