@@ -611,6 +611,69 @@ func BenchmarkE13TranslogRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkE18CheckpointedRecovery measures what the anchor-verified
+// checkpoint buys the restart path: reopening a durable log that
+// checkpointed near its head (replay = the short WAL suffix past the
+// checkpoint, tree seeded from the frozen subtree hashes) against
+// reopening the same population with no checkpoint (replay = every
+// record ever written). The checkpointed open must stay flat as the
+// population grows while the full replay grows linearly.
+func BenchmarkE18CheckpointedRecovery(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	const suffix = 256
+	build := func(b *testing.B, population int, checkpointed bool) string {
+		dir := b.TempDir()
+		l, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]translog.Entry, population-suffix)
+		for i := range batch {
+			batch[i] = benchLogEntry(i)
+		}
+		if _, err := l.AppendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		if checkpointed {
+			if err := l.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tail := make([]translog.Entry, suffix)
+		for i := range tail {
+			tail[i] = benchLogEntry(population - suffix + i)
+		}
+		if _, err := l.AppendBatch(tail); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, population := range []int{1 << 10, 1 << 14} {
+		for _, mode := range []string{"full-replay", "checkpointed"} {
+			b.Run(fmt.Sprintf("%s-entries-%d", mode, population), func(b *testing.B) {
+				dir := build(b, population, mode == "checkpointed")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					re, err := translog.OpenDurableLog(signer, dir, translog.StoreConfig{NoSync: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if re.Size() != uint64(population) {
+						b.Fatal("short recovery")
+					}
+					if err := re.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkE12InclusionVerify measures the relying-party read path: an
 // inclusion-proof generation plus full cryptographic verification
 // (tree-head signature + audit path) per credential check, against a log

@@ -72,6 +72,7 @@ func main() {
 		{"E15", "Enclave-sealed monotonic head (commit overhead + recovery)", runE15},
 		{"E16", "Per-host sharded appender scaling (1/4/16 hosts)", runE16},
 		{"E17", "Telemetry overhead on the sharded append path (+ live /metrics scrape)", runE17},
+		{"E18", "Checkpointed recovery vs full WAL replay (10^4..10^6 entries)", runE18},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -1434,5 +1435,114 @@ func runE17(runs int) (*metrics.Table, error) {
 		fmt.Sprintf("%.2f M entries/s", throughput(on)), fmt.Sprintf("%+.2f%% (%s)", overhead, verdict))
 	t.AddRow("mid-workload /metrics scrape", fmt.Sprintf("%d phase series", len(phases)),
 		"all present", "ok")
+	return t, nil
+}
+
+// runE18 measures what the anchor-verified checkpoint buys the restart
+// path across three orders of magnitude of log population: a full
+// replay reopens every record ever written (linear in history), while a
+// checkpointed reopen seeds the tree from the frozen subtree hashes and
+// replays only the short WAL suffix past the checkpoint, so it must
+// stay flat — within 2x of the smallest population — as the log grows.
+func runE18(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	mkEntry := func(i int) translog.Entry {
+		return translog.Entry{
+			Type: translog.EntryAttestOK, Timestamp: int64(i),
+			Actor: fmt.Sprintf("fw-%d", i), Host: "host-0", Detail: "OK",
+		}
+	}
+	const suffix = 256
+	const chunk = 8192
+
+	build := func(size int, checkpointed bool) (string, error) {
+		dir, err := os.MkdirTemp("", "benchreport-ckpt-")
+		if err != nil {
+			return "", err
+		}
+		l, err := translog.OpenDurableLog(ca.Signer(), dir, translog.StoreConfig{NoSync: true})
+		if err != nil {
+			return "", err
+		}
+		for at := 0; at < size-suffix; at += chunk {
+			n := chunk
+			if at+n > size-suffix {
+				n = size - suffix - at
+			}
+			batch := make([]translog.Entry, n)
+			for i := range batch {
+				batch[i] = mkEntry(at + i)
+			}
+			if _, err := l.AppendBatch(batch); err != nil {
+				return "", err
+			}
+		}
+		if checkpointed {
+			if err := l.Checkpoint(); err != nil {
+				return "", err
+			}
+		}
+		tail := make([]translog.Entry, suffix)
+		for i := range tail {
+			tail[i] = mkEntry(size - suffix + i)
+		}
+		if _, err := l.AppendBatch(tail); err != nil {
+			return "", err
+		}
+		return dir, l.Close()
+	}
+
+	sizes := []int{10_000, 100_000, 1_000_000}
+	type point struct {
+		full, ckpt time.Duration
+	}
+	points := make([]point, len(sizes))
+	for si, size := range sizes {
+		for _, checkpointed := range []bool{false, true} {
+			dir, err := build(size, checkpointed)
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			h := metrics.NewHistogram("open")
+			for r := 0; r < runs; r++ {
+				h.Time(func() {
+					re, err := translog.OpenDurableLog(ca.Signer(), dir, translog.StoreConfig{NoSync: true})
+					if err != nil {
+						panic(err)
+					}
+					if re.Size() != uint64(size) {
+						panic("short recovery")
+					}
+					if err := re.Close(); err != nil {
+						panic(err)
+					}
+				})
+			}
+			if checkpointed {
+				points[si].ckpt = h.Summarize().Mean
+			} else {
+				points[si].full = h.Summarize().Mean
+			}
+		}
+	}
+
+	inMs := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+	}
+	smallest := points[0].ckpt
+	t := metrics.NewTable("E18 — checkpointed recovery vs full replay (n="+fmt.Sprint(runs)+", "+fmt.Sprint(suffix)+"-entry suffix)",
+		"population", "full replay", "checkpointed open", "speedup", "verdict")
+	for si, size := range sizes {
+		verdict := "flat (≤2x smallest)"
+		if points[si].ckpt > 2*smallest {
+			verdict = "NOT FLAT (>2x smallest)"
+		}
+		t.AddRow(fmt.Sprint(size), inMs(points[si].full), inMs(points[si].ckpt),
+			fmt.Sprintf("%.1f×", float64(points[si].full)/float64(points[si].ckpt)), verdict)
+	}
 	return t, nil
 }

@@ -58,6 +58,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer witness gossip URLs (monitor mode; default: discover via state dir)")
 	seal := flag.Bool("seal", false, "anchor the served log's tree head in an enclave-sealed monotonic counter (serve mode)")
 	shards := flag.Int("shards", 0, "per-host WAL shard count for the served log (serve mode; >1 splits the WAL into per-host segment streams; fixed at store creation)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0, "write an anchor-verified recovery checkpoint (and compact cold WAL segments into archives) every N committed entries (serve mode; 0 disables)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-log-server.json", "platform NV file for -seal (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:0", "telemetry listen address (/metrics, /debug/vars, /debug/pprof); empty disables. The endpoint is unauthenticated — keep it loopback-bound.")
@@ -74,7 +75,7 @@ func main() {
 		runMonitor(dir, *logURL, *name, *gossipAddr, *peers, *interval, *wait)
 		return
 	}
-	runServe(dir, *addr, *seal, *nvFile, *shards, *wait)
+	runServe(dir, *addr, *seal, *nvFile, *shards, *checkpointEvery, *wait)
 }
 
 // caPublicKey loads the deployment's log verification key from the
@@ -95,7 +96,7 @@ func caPublicKey(dir *statedir.Dir, wait time.Duration) *ecdsa.PublicKey {
 	return pub
 }
 
-func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards int, wait time.Duration) {
+func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards int, checkpointEvery uint64, wait time.Duration) {
 	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
 	if err != nil {
 		log.Fatalf("run `verification-manager -init` first: %v", err)
@@ -126,7 +127,7 @@ func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards i
 	// of producers land in parallel streams while every cycle still
 	// commits one signed tree head. The layout is fixed when the store is
 	// first created; reopening an existing store keeps its layout.
-	cfg := translog.StoreConfig{Shards: shards}
+	cfg := translog.StoreConfig{Shards: shards, CheckpointEvery: checkpointEvery}
 	if seal {
 		caKey, err := statedir.ParseKeyPEM(caKeyPEM)
 		if err != nil {

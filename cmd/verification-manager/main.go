@@ -51,6 +51,7 @@ func main() {
 	requireTPM := flag.Bool("require-tpm", false, "appraisal policy demands TPM-rooted IML")
 	subKey := flag.String("subscription-key", "vnfguard-subscription", "IAS API key")
 	sealLog := flag.Bool("seal-log", false, "anchor the durable log's tree head in an enclave-sealed monotonic counter")
+	logCheckpointEvery := flag.Uint64("log-checkpoint-every", 0, "write an anchor-verified recovery checkpoint (and compact cold WAL segments into archives) every N committed log entries (0 disables)")
 	logShards := flag.Int("log-shards", 0, "per-host WAL shard count for the durable log (>1 gives each enrolled host its own segment stream and batches verdicts through the merging sequencer)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-vm.json", "platform NV file for -seal-log (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
@@ -68,7 +69,7 @@ func main() {
 		runInit(dir)
 		return
 	}
-	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *sealLog, *nvFile, *logShards, *wait)
+	runWorkflow(dir, *hosts, *enroll, *learn, *requireTPM, *subKey, *sealLog, *nvFile, *logShards, *logCheckpointEvery, *wait)
 }
 
 // runInit publishes the deployment's trust anchors.
@@ -133,7 +134,7 @@ type hostInfo struct {
 	AIKPubDER     string `json:"aik_pub_der"`
 }
 
-func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, sealLog bool, nvFile string, logShards int, wait time.Duration) {
+func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireTPM bool, subKey string, sealLog bool, nvFile string, logShards int, logCheckpointEvery uint64, wait time.Duration) {
 	model := simtime.DefaultCosts()
 
 	vmKeyPEM, err := dir.WaitFor(statedir.FileVMKey, wait)
@@ -203,7 +204,7 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 		Name: "verification-manager", Key: vmKey, SPID: sgx.SPID{0x42},
 		IAS: iasClient, Policy: policy, CA: ca,
 		LogDir:   dir.Path(statedir.DirVMLog),
-		LogStore: translog.StoreConfig{Shards: logShards},
+		LogStore: translog.StoreConfig{Shards: logShards, CheckpointEvery: logCheckpointEvery},
 		SealLog:  sealPlatform,
 	})
 	if err != nil {

@@ -1,0 +1,555 @@
+package translog
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// issuedSerial returns a serial that is issued (enroll/provision) and
+// never revoked in entries — a serial ProveSerial must succeed for.
+func issuedSerial(t *testing.T, entries []Entry) string {
+	t.Helper()
+	revoked := map[string]bool{}
+	for _, e := range entries {
+		if e.Type == EntryRevoke {
+			revoked[e.Serial] = true
+		}
+	}
+	for _, e := range entries {
+		if (e.Type == EntryEnroll || e.Type == EntryProvision) && !revoked[e.Serial] {
+			return e.Serial
+		}
+	}
+	t.Fatal("no unrevoked issued serial in test entries")
+	return ""
+}
+
+// checkpointedConfig keeps segments small (many cold files to compact)
+// and skips fsyncs for test speed.
+func checkpointedConfig(shards int) StoreConfig {
+	return StoreConfig{SegmentMaxBytes: 2048, NoSync: true, Shards: shards}
+}
+
+// TestCheckpointedRoundTrip covers the tentpole end to end for both
+// layouts: a log checkpointed (and compacted) mid-life reopens from the
+// suffix replay with bit-for-bit the same root, head and entry sequence
+// a full replay produced, cold reads hydrate from the archives, and the
+// log keeps appending and checkpointing across generations.
+func TestCheckpointedRoundTrip(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		name := "single"
+		if shards > 0 {
+			name = "sharded"
+		}
+		t.Run(name, func(t *testing.T) {
+			key := testSigner(t)
+			dir := t.TempDir()
+			entries := mixedEntries(1200)
+
+			l, err := OpenDurableLog(key, dir, checkpointedConfig(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, l, entries[:800])
+			if err := l.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, l, entries[800:])
+			rootBefore, err := l.RootAt(l.Size())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sthBefore := l.STH()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The full-replay reference root over the same entries.
+			ref, err := NewLog(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.AppendBatch(entries); err != nil {
+				t.Fatal(err)
+			}
+			refRoot, err := ref.RootAt(uint64(len(entries)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rootBefore != refRoot {
+				t.Fatal("durable root disagrees with in-memory reference")
+			}
+
+			suffixBefore := mRecoverSuffixEntries.Value()
+			replayedBefore := mRecoverEntries.Value()
+			re, err := OpenDurableLog(key, dir, checkpointedConfig(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if got := re.Size(); got != uint64(len(entries)) {
+				t.Fatalf("reopened size %d, want %d", got, len(entries))
+			}
+			if got := mRecoverSuffixEntries.Value() - suffixBefore; got != 400 {
+				t.Fatalf("suffix replay length %d, want 400", got)
+			}
+			if got := mRecoverEntries.Value() - replayedBefore; got != 400 {
+				t.Fatalf("checkpointed open replayed %d entries, want only the 400-entry suffix", got)
+			}
+			rootAfter, err := re.RootAt(re.Size())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rootAfter != refRoot {
+				t.Fatal("checkpointed open root differs from full-replay root")
+			}
+			sthAfter := re.STH()
+			if sthAfter.Size != sthBefore.Size || sthAfter.RootHash != sthBefore.RootHash {
+				t.Fatal("tree head changed across checkpointed restart")
+			}
+
+			// Proofs against the cold range hydrate and verify.
+			serial := issuedSerial(t, entries)
+			pb, err := re.ProveSerial(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pb.Verify(&key.PublicKey); err != nil {
+				t.Fatal(err)
+			}
+			proof, err := re.InclusionProof(0, sthAfter.Size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e0, err := re.Entry(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyInclusion(LeafHash(e0.Marshal()), 0, sthAfter.Size, proof, sthAfter.RootHash); err != nil {
+				t.Fatal(err)
+			}
+			cons, err := re.ConsistencyProof(700, sthAfter.Size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root700, err := re.RootAt(700)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyConsistency(700, sthAfter.Size, root700, sthAfter.RootHash, cons); err != nil {
+				t.Fatal(err)
+			}
+			if got := re.Entries(0, re.Size()); !reflect.DeepEqual(got, entries) {
+				t.Fatal("entry sequence changed across checkpointed restart")
+			}
+
+			// The log keeps going: append, checkpoint again, reopen again.
+			more := mixedEntries(1500)[1200:]
+			appendAll(t, re, more)
+			if err := re.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := OpenDurableLog(key, dir, checkpointedConfig(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			if _, err := ref.AppendBatch(more); err != nil {
+				t.Fatal(err)
+			}
+			wantRoot, err := ref.RootAt(uint64(1500))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotRoot, err := re2.RootAt(re2.Size())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotRoot != wantRoot {
+				t.Fatal("second-generation checkpointed root differs from reference")
+			}
+		})
+	}
+}
+
+// TestCheckpointCompactsColdSegments pins the compaction half: after a
+// checkpoint, fully cold WAL segments are replaced by archive files
+// (tail segments excepted), the checkpoint/compaction telemetry moves,
+// and hydration still reproduces every entry from the archives.
+func TestCheckpointCompactsColdSegments(t *testing.T) {
+	key := testSigner(t)
+	dir := t.TempDir()
+	entries := mixedEntries(1000)
+
+	l, err := OpenDurableLog(key, dir, checkpointedConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, entries)
+
+	segsBefore := countFiles(t, dir, ".wal")
+	runsBefore := mCompactRuns.Value()
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter := countFiles(t, dir, ".wal")
+	arcs := countFiles(t, dir, archiveSuffix)
+	if arcs == 0 {
+		t.Fatal("checkpoint compacted nothing into archives")
+	}
+	if segsAfter >= segsBefore {
+		t.Fatalf("cold segments not removed: %d before, %d after", segsBefore, segsAfter)
+	}
+	if mCompactRuns.Value() == runsBefore {
+		t.Fatal("compaction run not counted")
+	}
+	if mCkptBytes.Value() <= 0 {
+		t.Fatal("checkpoint size gauge not set")
+	}
+	if _, ok := mCkptLast.Time(); !ok {
+		t.Fatal("checkpoint stamp not marked")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDurableLog(key, dir, checkpointedConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Entries(0, re.Size()); !reflect.DeepEqual(got, entries) {
+		t.Fatal("hydrated entries differ from the originals")
+	}
+}
+
+// TestCheckpointEveryBackground covers the automatic path: with
+// StoreConfig.CheckpointEvery set, commits past the interval spawn the
+// background writer off the commit path, and a later open replays only
+// a suffix.
+func TestCheckpointEveryBackground(t *testing.T) {
+	key := testSigner(t)
+	dir := t.TempDir()
+	cfg := checkpointedConfig(0)
+	cfg.CheckpointEvery = 200
+	entries := mixedEntries(900)
+
+	l, err := OpenDurableLog(key, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, entries)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, checkpointFileName)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpoint never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayedBefore := mRecoverEntries.Value()
+	re, err := OpenDurableLog(key, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := mRecoverEntries.Value() - replayedBefore; got >= uint64(len(entries)) {
+		t.Fatalf("open replayed all %d entries despite a background checkpoint", got)
+	}
+	root, err := re.RootAt(re.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewLog(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.AppendBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RootAt(uint64(len(entries)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != want {
+		t.Fatal("background-checkpointed open root differs from reference")
+	}
+}
+
+// buildCheckpointedStore builds a store with two checkpoint generations
+// and returns artifacts the refusal tests rewind with: the signed head
+// as persisted before either checkpoint, and a copy of the first
+// (older) checkpoint file taken before the second overwrote it.
+func buildCheckpointedStore(t *testing.T) (key *ecdsa.PrivateKey, dir string, cfg StoreConfig, oldSTH, oldCkpt []byte) {
+	t.Helper()
+	key = testSigner(t)
+	dir = t.TempDir()
+	cfg = checkpointedConfig(0)
+	l, err := OpenDurableLog(key, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := mixedEntries(700)
+	appendAll(t, l, all[:300])
+	oldSTH, err = os.ReadFile(filepath.Join(dir, sthFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	oldCkpt, err = os.ReadFile(filepath.Join(dir, checkpointFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, all[300:])
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return key, dir, cfg, oldSTH, oldCkpt
+}
+
+// TestCheckpointRefusals drives every way checkpoint state can lie and
+// asserts the open refuses with the matching taxonomy — a bad
+// checkpoint is never silently ignored.
+func TestCheckpointRefusals(t *testing.T) {
+	t.Run("crc-damage", func(t *testing.T) {
+		key, dir, cfg, _, _ := buildCheckpointedStore(t)
+		path := filepath.Join(dir, checkpointFileName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, err = OpenDurableLog(key, dir, cfg)
+		if !errors.Is(err, ErrStateCorrupt) {
+			t.Fatalf("damaged checkpoint: got %v, want ErrStateCorrupt", err)
+		}
+	})
+
+	t.Run("tamper-crc-fixed", func(t *testing.T) {
+		key, dir, cfg, _, _ := buildCheckpointedStore(t)
+		path := filepath.Join(dir, checkpointFileName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite a digit of the signed size claim and fix the CRC, so
+		// the damage channel cannot be the one that catches it: only the
+		// signature can.
+		i := bytes.Index(data, []byte(`"size":`))
+		if i < 0 {
+			t.Fatal("no size claim in checkpoint header")
+		}
+		data[i+len(`"size":`)] ^= 0x01
+		body := data[:len(data)-4]
+		binary.BigEndian.PutUint32(data[len(data)-4:], crc32.Checksum(body, crcTable))
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, err = OpenDurableLog(key, dir, cfg)
+		if !errors.Is(err, ErrStateTampered) {
+			t.Fatalf("tampered checkpoint: got %v, want ErrStateTampered", err)
+		}
+	})
+
+	t.Run("rolled-back-head", func(t *testing.T) {
+		key, dir, cfg, oldSTH, _ := buildCheckpointedStore(t)
+		// Rewind sth.json to the pre-checkpoint head: a checkpoint newer
+		// than the persisted head means the statedir was rolled back
+		// around it.
+		if err := os.WriteFile(filepath.Join(dir, sthFileName), oldSTH, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenDurableLog(key, dir, cfg)
+		if !errors.Is(err, ErrStateRollback) {
+			t.Fatalf("rolled-back head under a newer checkpoint: got %v, want ErrStateRollback", err)
+		}
+	})
+
+	t.Run("missing-head", func(t *testing.T) {
+		key, dir, cfg, _, _ := buildCheckpointedStore(t)
+		if err := os.Remove(filepath.Join(dir, sthFileName)); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenDurableLog(key, dir, cfg)
+		if !errors.Is(err, ErrStateTampered) {
+			t.Fatalf("checkpoint without a persisted head: got %v, want ErrStateTampered", err)
+		}
+	})
+
+	t.Run("rolled-back-checkpoint", func(t *testing.T) {
+		key, dir, cfg, _, oldCkpt := buildCheckpointedStore(t)
+		// Swap in the older checkpoint after compaction (run for the
+		// newer one) removed cold WAL segments the old checkpoint still
+		// needs: the oldest surviving segment starts past it.
+		if err := os.WriteFile(filepath.Join(dir, checkpointFileName), oldCkpt, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenDurableLog(key, dir, cfg)
+		if !errors.Is(err, ErrStateRollback) {
+			t.Fatalf("rolled-back checkpoint past compacted history: got %v, want ErrStateRollback", err)
+		}
+	})
+}
+
+// TestTrimsAreDurable is the applyTrims bugfix regression: a torn tail
+// found by recovery is trimmed durably (file synced, directory synced),
+// so a second open finds a clean store and plans no further trims.
+func TestTrimsAreDurable(t *testing.T) {
+	key := testSigner(t)
+	dir := t.TempDir()
+	// NoSync deliberately NOT set: this test pins the sync path.
+	cfg := StoreConfig{SegmentMaxBytes: 4096}
+	l, err := OpenDurableLog(key, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, mixedEntries(50))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial frame at the tail.
+	tail := newestSegment(t, dir)
+	f, err := os.OpenFile(tail, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x00, 0x7F, 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tornBefore := mRecoverTornTails.Value()
+	re, err := OpenDurableLog(key, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mRecoverTornTails.Value() - tornBefore; got != 1 {
+		t.Fatalf("first reopen planned %d torn-tail trims, want 1", got)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The trim must have stuck: the next open rediscovers nothing.
+	re2, err := OpenDurableLog(key, dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := mRecoverTornTails.Value() - tornBefore; got != 1 {
+		t.Fatalf("trimmed tail resurfaced: %d total trims after second reopen, want 1", got)
+	}
+	if got := re2.Size(); got != 50 {
+		t.Fatalf("size %d after trimmed reopens, want 50", got)
+	}
+}
+
+// countFiles counts directory entries with the given suffix.
+func countFiles(t *testing.T, dir, suffix string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// newestSegment returns the path of the lexically last .wal segment —
+// the append tail for the single-stream layout.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), ".wal") && de.Name() > last {
+			last = de.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no segment files")
+	}
+	return filepath.Join(dir, last)
+}
+
+// TestProofsDoNotBlockOnCommitLock pins the read-path fix: proof
+// computation must not take the log's commit lock — the sequencer holds
+// it across a WAL fsync, and proof endpoints stalling behind disk
+// latency was the bug. The tree's own read lock is enough: nodes below
+// a committed size are immutable.
+func TestProofsDoNotBlockOnCommitLock(t *testing.T) {
+	key := testSigner(t)
+	l, err := NewLog(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendBatch(mixedEntries(128)); err != nil {
+		t.Fatal(err)
+	}
+	sth := l.STH()
+
+	// Simulate a commit mid-fsync: the write lock held for the duration.
+	l.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		proof, err := l.InclusionProof(3, sth.Size)
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, err := l.ConsistencyProof(64, sth.Size); err != nil {
+			done <- err
+			return
+		}
+		if _, err := l.RootAt(100); err != nil {
+			done <- err
+			return
+		}
+		done <- VerifyInclusion(l.tree.levels[0][3], 3, sth.Size, proof, sth.RootHash)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		l.mu.Unlock()
+		t.Fatal("proof computation blocked on the commit lock")
+	}
+	l.mu.Unlock()
+}

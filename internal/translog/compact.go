@@ -1,0 +1,364 @@
+package translog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cold-segment compaction: WAL segments whose every record sits below
+// the newest checkpoint carry data recovery no longer replays, but that
+// proofs and entry reads over the cold range still need. The compactor
+// rewrites them into read-optimised archive files — the canonical entry
+// encodings for a contiguous global index range, length-prefixed, one
+// whole-file CRC — and then deletes the WAL segments they replace.
+// Hydration (log.go) loads archives back without re-marshalling a
+// single entry and verifies the rebuilt prefix against the checkpoint
+// root, so an archive is trusted exactly as far as a WAL segment was.
+//
+// Crash safety is rename discipline: each archive is written
+// tmp + fsync + rename + dir-sync before any WAL segment is unlinked,
+// so every crash window leaves either both representations (harmless
+// overlap — cold reads prefer archives and skip the duplicate WAL
+// records) or the archive alone, never neither. A stream's newest
+// segment is never archived, even when fully cold: the store holds it
+// open for append, and unlinking an open append tail would divorce the
+// durable file from the live one.
+
+const (
+	archiveSuffix = ".arc"
+	archivePrefix = "arc-"
+	// archiveTargetBytes caps one archive file's payload size.
+	archiveTargetBytes = 4 << 20
+)
+
+// arcMagic identifies an archive file (and its format version).
+var arcMagic = [8]byte{'V', 'N', 'F', 'G', 'A', 'R', 'C', '1'}
+
+// archiveName renders the file name for the archive holding count
+// entries starting at global index first. Both ride in the name so a
+// directory listing alone yields the archived watermark.
+func archiveName(first uint64, count int) string {
+	return fmt.Sprintf("%s%020d-%010d%s", archivePrefix, first, count, archiveSuffix)
+}
+
+// parseArchiveName extracts the first index and entry count, ok=false
+// for unrelated files.
+func parseArchiveName(name string) (first uint64, count int, ok bool) {
+	if !strings.HasPrefix(name, archivePrefix) || !strings.HasSuffix(name, archiveSuffix) {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, archivePrefix), archiveSuffix)
+	firstDigits, countDigits, found := strings.Cut(body, "-")
+	if !found || len(firstDigits) != 20 || len(countDigits) != 10 {
+		return 0, 0, false
+	}
+	f, err := strconv.ParseUint(firstDigits, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	c, err := strconv.ParseUint(countDigits, 10, 32)
+	if err != nil {
+		return 0, 0, false
+	}
+	return f, int(c), true
+}
+
+// listArchives returns the archives in dir sorted by first index.
+func listArchives(dir string) (firsts []uint64, counts []int, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("translog: reading store dir: %w", err)
+	}
+	type arc struct {
+		first uint64
+		count int
+	}
+	var arcs []arc
+	for _, de := range names {
+		if f, c, ok := parseArchiveName(de.Name()); ok {
+			arcs = append(arcs, arc{f, c})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i].first < arcs[j].first })
+	for _, a := range arcs {
+		firsts = append(firsts, a.first)
+		counts = append(counts, a.count)
+	}
+	return firsts, counts, nil
+}
+
+// encodeArchive builds one archive file's bytes: magic, first, count,
+// length-prefixed payloads, whole-file CRC-32C.
+func encodeArchive(first uint64, payloads [][]byte) []byte {
+	size := len(arcMagic) + 12 + 4
+	for _, p := range payloads {
+		size += 4 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, arcMagic[:]...)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], first)
+	buf = append(buf, u64[:]...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(payloads)))
+	buf = append(buf, u32[:]...)
+	for _, p := range payloads {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(p)))
+		buf = append(buf, u32[:]...)
+		buf = append(buf, p...)
+	}
+	binary.BigEndian.PutUint32(u32[:], crc32.Checksum(buf, crcTable))
+	return append(buf, u32[:]...)
+}
+
+// readArchive loads one archive, verifying its CRC and that its header
+// matches its name.
+func readArchive(dir string, first uint64, count int) ([][]byte, error) {
+	name := archiveName(first, count)
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("translog: reading archive %s: %w", name, err)
+	}
+	if len(data) < len(arcMagic)+16 || !bytes.Equal(data[:len(arcMagic)], arcMagic[:]) {
+		return nil, fmt.Errorf("%w: archive %s malformed", ErrStateCorrupt, name)
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: archive %s checksum mismatch", ErrStateCorrupt, name)
+	}
+	rest := body[len(arcMagic):]
+	gotFirst := binary.BigEndian.Uint64(rest[:8])
+	gotCount := binary.BigEndian.Uint32(rest[8:12])
+	if gotFirst != first || int(gotCount) != count {
+		return nil, fmt.Errorf("%w: archive %s header disagrees with its name", ErrStateCorrupt, name)
+	}
+	rest = rest[12:]
+	payloads := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: archive %s truncated", ErrStateCorrupt, name)
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		if uint64(len(rest)-4) < uint64(n) {
+			return nil, fmt.Errorf("%w: archive %s truncated", ErrStateCorrupt, name)
+		}
+		payloads = append(payloads, rest[4:4+n])
+		rest = rest[4+n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: archive %s holds trailing bytes", ErrStateCorrupt, name)
+	}
+	return payloads, nil
+}
+
+// coldRecord is one cold WAL record located for compaction.
+type coldRecord struct {
+	index   uint64
+	payload []byte
+}
+
+// coldWALRecords scans the store's WAL segments for records with global
+// index in [lo, hi), never touching each stream's newest segment when
+// tailSafe is set (the store may hold it open for append). The returned
+// records are globally sorted. Segments every record of which falls
+// below hi are reported in removable (candidates for deletion once
+// their records are archived), keyed by path with their max index.
+func coldWALRecords(dir string, lo, hi uint64, tailSafe bool) (records []coldRecord, removable map[string]uint64, err error) {
+	firsts, shardFirsts, err := listAllSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	removable = map[string]uint64{}
+	scan := func(path string, base uint64, sharded bool, isTail bool) error {
+		payloads, _, err := readSegment(path)
+		if err != nil && !errors.Is(err, errTornTail) {
+			return err
+		}
+		max := uint64(0)
+		all := true
+		for j, p := range payloads {
+			idx := base + uint64(j)
+			body := p
+			if sharded {
+				var serr error
+				idx, body, serr = splitIndexedRecord(p)
+				if serr != nil {
+					return serr
+				}
+			}
+			if idx > max {
+				max = idx
+			}
+			if idx >= hi {
+				all = false
+			}
+			if idx >= lo && idx < hi {
+				records = append(records, coldRecord{index: idx, payload: body})
+			}
+		}
+		if all && len(payloads) > 0 && !(tailSafe && isTail) {
+			removable[path] = max
+		}
+		return nil
+	}
+	for i, first := range firsts {
+		if first >= hi {
+			break
+		}
+		path := filepath.Join(dir, segmentName(first))
+		if err := scan(path, first, false, i == len(firsts)-1); err != nil {
+			return nil, nil, err
+		}
+	}
+	for shard, sf := range shardFirsts {
+		for i, first := range sf {
+			path := filepath.Join(dir, shardSegmentName(shard, first))
+			if err := scan(path, first, true, i == len(sf)-1); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].index < records[j].index })
+	return records, removable, nil
+}
+
+// compact archives every WAL segment that sits entirely below the
+// checkpoint boundary c and deletes it, leaving straddling segments
+// (and each stream's open tail) in place. Safe to run concurrently with
+// appends — it only reads and removes segments below c, which the
+// append path never touches — and serialised against cold reads by
+// compactMu. A run that finds nothing cold is a no-op.
+func (s *Store) compact(c uint64) error {
+	if c == 0 {
+		return nil
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	arcFirsts, arcCounts, err := listArchives(s.dir)
+	if err != nil {
+		return err
+	}
+	// watermark is the end of the contiguous archived prefix from 0.
+	watermark := uint64(0)
+	for i := range arcFirsts {
+		if arcFirsts[i] != watermark {
+			break
+		}
+		watermark += uint64(arcCounts[i])
+	}
+	records, removable, err := coldWALRecords(s.dir, watermark, c, true)
+	if err != nil {
+		return err
+	}
+	// Archive the contiguous run from the watermark. A gap (a cold
+	// record still locked inside a straddling or tail segment) stops
+	// the run; everything past it stays in the WAL until a later pass.
+	run := len(records)
+	for i, r := range records {
+		if r.index != watermark+uint64(i) {
+			run = i
+			break
+		}
+	}
+	archivedEnd := watermark + uint64(run)
+	if run > 0 {
+		for lo := 0; lo < run; {
+			sz := 0
+			hi := lo
+			for hi < run && (hi == lo || sz < archiveTargetBytes) {
+				sz += len(records[hi].payload)
+				hi++
+			}
+			payloads := make([][]byte, 0, hi-lo)
+			for _, r := range records[lo:hi] {
+				payloads = append(payloads, r.payload)
+			}
+			first := watermark + uint64(lo)
+			buf := encodeArchive(first, payloads)
+			if err := atomicWriteFile(filepath.Join(s.dir, archiveName(first, len(payloads))), buf, !s.cfg.NoSync); err != nil {
+				return err
+			}
+			lo = hi
+		}
+	}
+	// Only now, with every cold record durably archived up to
+	// archivedEnd, unlink the WAL segments that fall entirely below it.
+	removed := false
+	for path, max := range removable {
+		if max < archivedEnd {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("translog: removing compacted segment: %w", err)
+			}
+			removed = true
+		}
+	}
+	if removed && !s.cfg.NoSync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	if run > 0 {
+		mCompactRuns.Inc()
+	}
+	return nil
+}
+
+// loadCold reads the canonical encodings of every entry below the
+// checkpoint boundary c, archives first, cold WAL records for whatever
+// the archives do not yet cover, and returns them with their leaf
+// hashes. The hashes are recomputed here — an archive's CRC detects
+// damage, but binding payloads to the checkpointed root is the caller's
+// verification, exactly as WAL replay binds records to the persisted
+// head.
+func (s *Store) loadCold(c uint64) ([][]byte, []Hash, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	arcFirsts, arcCounts, err := listArchives(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	payloads := make([][]byte, 0, c)
+	for i := range arcFirsts {
+		if arcFirsts[i] != uint64(len(payloads)) || uint64(len(payloads)) >= c {
+			break
+		}
+		ps, err := readArchive(s.dir, arcFirsts[i], arcCounts[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		payloads = append(payloads, ps...)
+	}
+	if uint64(len(payloads)) > c {
+		return nil, nil, fmt.Errorf("%w: archives cover %d entries beyond the checkpoint at %d",
+			ErrStateCorrupt, len(payloads), c)
+	}
+	if uint64(len(payloads)) < c {
+		records, _, err := coldWALRecords(s.dir, uint64(len(payloads)), c, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, r := range records {
+			if r.index != uint64(len(payloads))+uint64(i) {
+				break
+			}
+			payloads = append(payloads, r.payload)
+		}
+	}
+	if uint64(len(payloads)) != c {
+		return nil, nil, fmt.Errorf("%w: only %d of %d cold entries present across archives and segments",
+			ErrStateCorrupt, len(payloads), c)
+	}
+	hashes := make([]Hash, len(payloads))
+	for i, p := range payloads {
+		hashes[i] = LeafHash(p)
+	}
+	return payloads, hashes, nil
+}

@@ -442,7 +442,12 @@ func (c *Client) AppendSTH(batch []Entry) (SignedTreeHead, error) {
 		return SignedTreeHead{}, fmt.Errorf("translog client: append: %w", err)
 	}
 	defer resp.Body.Close()
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		// A peer that dies mid-body must surface as the transport error
+		// it is, not as a truncated (or empty) server message.
+		return SignedTreeHead{}, fmt.Errorf("translog client: append: reading response (status %d): %w", resp.StatusCode, err)
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var out struct {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vnfguard/internal/obs"
@@ -47,12 +48,17 @@ const sthSigPrefix = "vnfguard-translog-sth-v1"
 // for — and it holds the exact bytes the tree hashed, so a decode can
 // never disagree with the leaf.
 type entryArena struct {
+	// base is the global index of the first resident entry: a
+	// checkpointed open adopts only the WAL suffix, and indices below
+	// base stay cold until a read forces hydration (Log.hydrate), which
+	// splices the archived prefix back in and zeroes base.
+	base uint64
 	data []byte
 	offs []uint64
 }
 
-// count returns the number of stored entries.
-func (a *entryArena) count() uint64 { return uint64(len(a.offs)) }
+// count returns the number of stored entries (cold prefix included).
+func (a *entryArena) count() uint64 { return a.base + uint64(len(a.offs)) }
 
 // add appends one canonical encoding (copying it out of the caller's
 // buffer).
@@ -61,8 +67,10 @@ func (a *entryArena) add(payload []byte) {
 	a.data = append(a.data, payload...)
 }
 
-// payload returns the stored canonical encoding of entry i.
+// payload returns the stored canonical encoding of entry i (callers
+// have checked base ≤ i < count).
 func (a *entryArena) payload(i uint64) []byte {
+	i -= a.base
 	end := uint64(len(a.data))
 	if i+1 < uint64(len(a.offs)) {
 		end = a.offs[i+1]
@@ -81,13 +89,37 @@ func (a *entryArena) at(i uint64) Entry {
 	return e
 }
 
-// truncate discards entries from n on — the rollback of a failed commit.
+// truncate discards entries from global index n on — the rollback of a
+// failed commit (always within the resident suffix: commits only ever
+// grow past base).
 func (a *entryArena) truncate(n uint64) {
 	if n >= a.count() {
 		return
 	}
+	n -= a.base
 	a.data = a.data[:a.offs[n]]
 	a.offs = a.offs[:n]
+}
+
+// splice prepends the hydrated cold payloads (global indices
+// [0, base)) and makes the arena fully resident.
+func (a *entryArena) splice(cold [][]byte) {
+	sz := uint64(0)
+	for _, p := range cold {
+		sz += uint64(len(p))
+	}
+	data := make([]byte, 0, sz+uint64(len(a.data)))
+	offs := make([]uint64, 0, len(cold)+len(a.offs))
+	for _, p := range cold {
+		offs = append(offs, uint64(len(data)))
+		data = append(data, p...)
+	}
+	for _, off := range a.offs {
+		offs = append(offs, off+sz)
+	}
+	a.data = append(data, a.data...)
+	a.offs = offs
+	a.base = 0
 }
 
 // signingDigest is the SHA-256 the STH signature covers.
@@ -137,6 +169,22 @@ type Log struct {
 	// shardScratch is the reusable host→shard routing buffer for sharded
 	// stores, guarded by mu like every commit-path structure.
 	shardScratch []int
+
+	// frozenRoot is the checkpoint's root over the cold prefix — what a
+	// lazy hydration of the archived entries must reproduce
+	// (ErrStateTampered otherwise). Only meaningful while entries.base
+	// is non-zero.
+	frozenRoot Hash
+	// hydrateMu single-flights cold-prefix hydration.
+	hydrateMu sync.Mutex
+	// ckptMu serialises checkpoint writes (the background writer against
+	// explicit Checkpoint calls).
+	ckptMu sync.Mutex
+	// ckptBusy/ckptWG coordinate the background checkpoint goroutine:
+	// at most one in flight, and Close waits it out before tearing the
+	// store down.
+	ckptBusy atomic.Bool
+	ckptWG   sync.WaitGroup
 }
 
 // NewLog creates a log whose tree heads are signed by signer (the
@@ -275,7 +323,126 @@ func (l *Log) appendPreparedTraced(batch []Entry, payloads [][]byte, hashes []Ha
 	mCommits.Inc()
 	mAppendedEntries.Add(uint64(len(batch)))
 	mLastCommit.Mark()
+	// Checkpoint trigger: the batch is committed through the whole
+	// anchor chain, so this head is one every anchor will remember —
+	// exactly what a checkpoint may cover. The writer runs off the
+	// commit path; at most one in flight.
+	if l.store != nil && l.store.checkpointDue(size) && l.ckptBusy.CompareAndSwap(false, true) {
+		l.ckptWG.Add(1)
+		go l.checkpointAndCompact()
+	}
 	return first, nil
+}
+
+// checkpointAndCompact is the background checkpoint writer spawned
+// after a commit crosses the configured interval: persist a checkpoint
+// for the committed head, then fold the now-summarized cold prefix
+// into archive files. Best-effort by design — on any error the WAL
+// remains authoritative and the next interval retries.
+func (l *Log) checkpointAndCompact() {
+	defer l.ckptWG.Done()
+	defer l.ckptBusy.Store(false)
+	if err := l.Checkpoint(); err != nil {
+		return
+	}
+	_ = l.store.compact(l.store.lastCkpt.Load())
+}
+
+// Checkpoint synchronously writes a durable checkpoint covering the
+// current committed head and compacts the cold prefix it summarizes
+// into archive files. The automatic path (StoreConfig.CheckpointEvery)
+// runs this in the background after commits; the method is exposed for
+// operator tooling and deterministic tests.
+func (l *Log) Checkpoint() error {
+	if l.store == nil {
+		return fmt.Errorf("translog: checkpointing an in-memory log")
+	}
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	l.mu.RLock()
+	sth := l.sth
+	size := l.entries.count()
+	blocks, err := l.tree.blocks(size)
+	if err != nil {
+		l.mu.RUnlock()
+		return err
+	}
+	issuance := make(map[string]uint64, len(l.issuance))
+	for k, v := range l.issuance {
+		issuance[k] = v
+	}
+	revoked := make(map[string]bool, len(l.revoked))
+	for k := range l.revoked {
+		revoked[k] = true
+	}
+	streamCounts := l.store.streamCounts()
+	l.mu.RUnlock()
+	if size == 0 || size == l.store.lastCkpt.Load() {
+		return nil // nothing new to summarize
+	}
+	ck := &checkpoint{size: size, sth: sth, blocks: blocks,
+		streamCounts: streamCounts, issuance: issuance, revoked: revoked}
+	n, err := writeCheckpointFile(l.store.dir, ck, l.signer, l.store.cfg.NoSync)
+	if err != nil {
+		return err
+	}
+	l.store.lastCkpt.Store(size)
+	mCkptBytes.Set(int64(n))
+	mCkptLast.Mark()
+	return l.store.compact(size)
+}
+
+// hydrate loads the compacted cold prefix back into memory: the
+// archives (plus any cold records still in WAL segments) are read, the
+// prefix tree is rebuilt and must reproduce the checkpoint root the
+// anchors verified at open, and the tree and entry arena are spliced
+// back to full residency. Single-flighted; concurrent cold readers
+// block on hydrateMu and find the work already done.
+func (l *Log) hydrate() error {
+	l.hydrateMu.Lock()
+	defer l.hydrateMu.Unlock()
+	l.mu.RLock()
+	base := l.entries.base
+	frozen := l.frozenRoot
+	store := l.store
+	l.mu.RUnlock()
+	if base == 0 {
+		return nil // already resident
+	}
+	payloads, hashes, err := store.loadCold(base)
+	if err != nil {
+		return err
+	}
+	pre := newTree()
+	pre.appendParallel(hashes, prepareWorkers())
+	root, err := pre.rootAt(base)
+	if err != nil {
+		return err
+	}
+	if root != frozen {
+		return fmt.Errorf("%w: hydrated cold prefix hashes to a different root than the checkpoint covers",
+			ErrStateTampered)
+	}
+	l.mu.Lock()
+	l.tree.splice(pre.levels)
+	l.entries.splice(payloads)
+	l.mu.Unlock()
+	return nil
+}
+
+// withHydration runs fn, hydrating the cold prefix and retrying once
+// when it reports a cold range. After a successful hydration the tree
+// and arena are fully resident, so the retry cannot see errColdRange
+// again.
+func (l *Log) withHydration(fn func() error) error {
+	err := fn()
+	if !errors.Is(err, errColdRange) {
+		return err
+	}
+	if herr := l.hydrate(); herr != nil {
+		return herr
+	}
+	return fn()
 }
 
 // indexEntry maintains the serial-keyed lookup maps for one committed
@@ -308,7 +475,18 @@ func (l *Log) StoreShards() int {
 // Close releases the durable store, fsyncing the tail segment. It is a
 // no-op for in-memory logs and is safe to call more than once.
 func (l *Log) Close() error {
-	l.mu.Lock()
+	// Wait out any in-flight background checkpoint before locking (the
+	// writer snapshots under the read lock). A commit racing this Close
+	// may spawn a fresh writer after the Wait, so re-check under the
+	// lock — new writers can only be spawned by commits, which hold it.
+	for {
+		l.ckptWG.Wait()
+		l.mu.Lock()
+		if !l.ckptBusy.Load() {
+			break
+		}
+		l.mu.Unlock()
+	}
 	defer l.mu.Unlock()
 	if l.store == nil {
 		return nil
@@ -332,59 +510,102 @@ func (l *Log) Size() uint64 {
 
 // Entry returns the committed entry at index.
 func (l *Log) Entry(index uint64) (Entry, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if index >= l.entries.count() {
-		return Entry{}, ErrIndexRange
+	var e Entry
+	err := l.withHydration(func() error {
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		if index >= l.entries.count() {
+			return ErrIndexRange
+		}
+		if index < l.entries.base {
+			return errColdRange
+		}
+		e = l.entries.at(index)
+		return nil
+	})
+	if err != nil {
+		return Entry{}, err
 	}
-	return l.entries.at(index), nil
+	return e, nil
 }
 
 // Entries returns committed entries in [start, start+count), clamped to
 // the log size.
 func (l *Log) Entries(start, count uint64) []Entry {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	n := l.entries.count()
-	if start >= n || count == 0 {
+	var out []Entry
+	_ = l.withHydration(func() error {
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		n := l.entries.count()
+		if start >= n || count == 0 {
+			return nil
+		}
+		if start < l.entries.base {
+			return errColdRange
+		}
+		end := n
+		if count < n-start {
+			end = start + count
+		}
+		out = make([]Entry, 0, end-start)
+		for i := start; i < end; i++ {
+			out = append(out, l.entries.at(i))
+		}
 		return nil
-	}
-	end := n
-	if count < n-start {
-		end = start + count
-	}
-	out := make([]Entry, 0, end-start)
-	for i := start; i < end; i++ {
-		out = append(out, l.entries.at(i))
-	}
+	})
 	return out
 }
 
 // InclusionProof returns the audit path for the entry at index in the
 // tree of the given size.
+//
+// Proofs deliberately do not take the log lock: the tree is append-only
+// and guards its own node levels, and every node below a committed size
+// is immutable once written — so proof reads over published heads no
+// longer contend with the sequencer's write lock, which a committing
+// batch holds across its WAL fsync. A proof touching hashes that were
+// compacted below the checkpoint triggers hydration and retries.
 func (l *Log) InclusionProof(index, size uint64) ([]Hash, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.tree.inclusionProof(index, size)
+	var proof []Hash
+	err := l.withHydration(func() error {
+		var ferr error
+		proof, ferr = l.tree.inclusionProof(index, size)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proof, nil
 }
 
 // ConsistencyProof proves the tree at size first is a prefix of the tree
-// at size second.
+// at size second. Lock-free against the log lock like InclusionProof.
 func (l *Log) ConsistencyProof(first, second uint64) ([]Hash, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
 	if first == 0 {
 		return nil, nil
 	}
-	return l.tree.consistencyProof(first, second)
+	var proof []Hash
+	err := l.withHydration(func() error {
+		var ferr error
+		proof, ferr = l.tree.consistencyProof(first, second)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return proof, nil
 }
 
 // RootAt recomputes the root at a historical size (used by tests and the
 // example walkthrough; auditors use signed tree heads instead).
 func (l *Log) RootAt(size uint64) (Hash, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.tree.rootAt(size)
+	var root Hash
+	err := l.withHydration(func() error {
+		var ferr error
+		root, ferr = l.tree.rootAt(size)
+		return ferr
+	})
+	return root, err
 }
 
 // ProofBundle packages everything a relying party needs to check that one
@@ -415,19 +636,37 @@ func (pb *ProofBundle) Verify(pub *ecdsa.PublicKey) error {
 // per-handshake cost does not grow with the log.
 func (l *Log) ProveSerial(serial string) (*ProofBundle, error) {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
 	if l.revoked[serial] {
+		l.mu.RUnlock()
 		return nil, ErrLogRevoked
 	}
 	idx, ok := l.issuance[serial]
+	sth := l.sth
+	l.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: serial %s", ErrNotLogged, serial)
 	}
-	proof, err := l.tree.inclusionProof(idx, l.sth.Size)
+	// The audit path is computed against the snapshotted head without
+	// re-taking the log lock (see InclusionProof); only the entry bytes
+	// need the lock back.
+	var pb *ProofBundle
+	err := l.withHydration(func() error {
+		proof, perr := l.tree.inclusionProof(idx, sth.Size)
+		if perr != nil {
+			return perr
+		}
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		if idx < l.entries.base {
+			return errColdRange
+		}
+		pb = &ProofBundle{Index: idx, Entry: l.entries.at(idx), Proof: proof, STH: sth}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &ProofBundle{Index: idx, Entry: l.entries.at(idx), Proof: proof, STH: l.sth}, nil
+	return pb, nil
 }
 
 // SerialRevoked reports whether the log holds an EntryRevoke for serial.

@@ -44,6 +44,12 @@ func largestPowerOfTwoBelow(n uint64) uint64 {
 	return 1 << (bits.Len64(n-1) - 1)
 }
 
+// errColdRange reports a tree lookup that reached below the checkpoint
+// boundary of a suffix-only tree: the nodes are not resident (they live
+// in the checkpoint's frozen blocks and the cold archives). Callers at
+// the Log layer hydrate the cold prefix and retry.
+var errColdRange = errors.New("translog: range below the checkpoint is not resident")
+
 // tree is an append-only Merkle tree over leaf hashes, stored as one
 // hash array per level: levels[0] holds the leaves and levels[k][i] is
 // the root of the complete subtree over leaves [i·2^k, (i+1)·2^k). Every
@@ -51,20 +57,65 @@ func largestPowerOfTwoBelow(n uint64) uint64 {
 // to a single array lookup; appends only extend the right spine —
 // O(1) amortised hashing per leaf with no cache invalidation, which is
 // what keeps batched commits cheap as the log grows.
+//
+// A tree opened from a checkpoint is a suffix tree: leaves below frozen
+// are not resident, and level k stores only the nodes with global index
+// ≥ off(k) — the frozen subtree roots of frozen's binary decomposition
+// sit at exactly those boundary positions, so the per-level arrays stay
+// contiguous and the append spine-walk pairs new nodes with frozen
+// block roots with no special cases beyond the off(k) index shift.
+// Every root, proof and consistency computation for ranges at or above
+// frozen resolves exactly as in a full tree (the RFC recursions only
+// visit the decomposition positions, which are resident); a lookup that
+// needs interior cold nodes returns errColdRange, and splice() grafts a
+// rebuilt cold prefix back in to lift the boundary.
 type tree struct {
 	mu     sync.RWMutex
 	levels [][]Hash
+	// frozen is the checkpoint boundary (0 for a full tree).
+	frozen uint64
 }
 
 func newTree() *tree {
 	return &tree{levels: [][]Hash{nil}}
 }
 
+// newTreeFromFrozen builds a suffix tree over a checkpoint at size
+// frozen: blocks are the roots of frozen's binary decomposition,
+// largest subtree first. The caller has verified they fold to the
+// checkpointed root.
+func newTreeFromFrozen(frozen uint64, blocks []Hash) *tree {
+	if frozen == 0 {
+		return newTree()
+	}
+	t := &tree{frozen: frozen, levels: make([][]Hash, bits.Len64(frozen))}
+	bi := 0
+	for k := len(t.levels) - 1; k >= 0; k-- {
+		if frozen&(1<<uint(k)) != 0 {
+			t.levels[k] = []Hash{blocks[bi]}
+			bi++
+		}
+	}
+	return t
+}
+
+// off returns the global node index where level k's stored array
+// begins: everything below it is interior to the frozen prefix. The
+// frozen block at level k (when bit k of frozen is set) sits at exactly
+// this index, so the arrays are contiguous from here on.
+func (t *tree) off(k int) uint64 {
+	return 2 * (t.frozen >> uint(k+1))
+}
+
 // size returns the number of leaves.
 func (t *tree) size() uint64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return uint64(len(t.levels[0]))
+	return t.sizeLocked()
+}
+
+func (t *tree) sizeLocked() uint64 {
+	return t.off(0) + uint64(len(t.levels[0]))
 }
 
 // append adds leaf hashes and returns the new size.
@@ -74,17 +125,20 @@ func (t *tree) append(hashes ...Hash) uint64 {
 	for _, h := range hashes {
 		t.levels[0] = append(t.levels[0], h)
 		// Complete freshly-paired subtrees bottom-up along the right
-		// spine.
-		i := uint64(len(t.levels[0]) - 1)
+		// spine. i is the new node's global index; the stored arrays
+		// begin at off(k), which is always even, so an odd i pairs with
+		// a resident i-1 (possibly a frozen block root).
+		i := t.off(0) + uint64(len(t.levels[0])) - 1
 		for k := 0; i&1 == 1; k++ {
 			if k+1 >= len(t.levels) {
 				t.levels = append(t.levels, nil)
 			}
-			t.levels[k+1] = append(t.levels[k+1], nodeHash(t.levels[k][i-1], t.levels[k][i]))
+			o := t.off(k)
+			t.levels[k+1] = append(t.levels[k+1], nodeHash(t.levels[k][i-1-o], t.levels[k][i-o]))
 			i >>= 1
 		}
 	}
-	return uint64(len(t.levels[0]))
+	return t.sizeLocked()
 }
 
 // appendParallel adds a large batch of leaf hashes with the interior
@@ -101,116 +155,223 @@ func (t *tree) appendParallel(hashes []Hash, workers int) uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.levels[0] = append(t.levels[0], hashes...)
-	for k := 0; len(t.levels[k])/2 > 0; k++ {
+	for k := 0; ; k++ {
+		below := t.levels[k]
+		oBelow := t.off(k)
+		// Global node counts: want is how many level-k+1 nodes the
+		// level-k pairs now support, have is how many already exist
+		// (including any frozen block root the level started with).
+		want := (oBelow + uint64(len(below))) / 2
+		oUp := t.off(k + 1)
+		have := oUp
+		if k+1 < len(t.levels) {
+			have += uint64(len(t.levels[k+1]))
+		}
+		if want <= have {
+			break
+		}
 		if k+1 >= len(t.levels) {
 			t.levels = append(t.levels, nil)
 		}
-		below := t.levels[k]
-		have := len(t.levels[k+1])
-		want := len(below) / 2
-		if want <= have {
-			continue
-		}
+		lHave, lWant := int(have-oUp), int(want-oUp)
 		nodes := t.levels[k+1]
-		if cap(nodes) < want {
+		if cap(nodes) < lWant {
 			// Grow with doubling headroom in one shot — append's
 			// temp-slice growth would reallocate every batch.
-			grown := make([]Hash, want, max(want, 2*cap(nodes)))
+			grown := make([]Hash, lWant, max(lWant, 2*cap(nodes)))
 			copy(grown, nodes)
 			nodes = grown
 		} else {
-			nodes = nodes[:want]
+			nodes = nodes[:lWant]
 		}
-		if want-have < 2*chunk {
-			for i := have; i < want; i++ {
-				nodes[i] = nodeHash(below[2*i], below[2*i+1])
+		fill := func(lo, hi int) {
+			for li := lo; li < hi; li++ {
+				j := oUp + uint64(li) // global index at level k+1
+				nodes[li] = nodeHash(below[2*j-oBelow], below[2*j+1-oBelow])
 			}
+		}
+		if lWant-lHave < 2*chunk {
+			fill(lHave, lWant)
 		} else {
 			var wg sync.WaitGroup
-			for lo := have; lo < want; lo += chunk {
+			for lo := lHave; lo < lWant; lo += chunk {
 				hi := lo + chunk
-				if hi > want {
-					hi = want
+				if hi > lWant {
+					hi = lWant
 				}
 				wg.Add(1)
 				go func(lo, hi int) {
 					defer wg.Done()
-					for i := lo; i < hi; i++ {
-						nodes[i] = nodeHash(below[2*i], below[2*i+1])
-					}
+					fill(lo, hi)
 				}(lo, hi)
 			}
 			wg.Wait()
 		}
 		t.levels[k+1] = nodes
 	}
-	return uint64(len(t.levels[0]))
+	return t.sizeLocked()
 }
 
 // truncate discards leaves beyond size n — the rollback of a failed
-// commit. Level k always holds exactly n>>k nodes for n leaves, so the
-// inverse of append is a per-level truncation.
+// commit. Level k always holds exactly the global nodes [off(k), n>>k)
+// for n leaves, so the inverse of append is a per-level truncation.
+// Callers never truncate below the frozen boundary: commits only ever
+// roll back to a size the committed tree already reached, which is ≥
+// frozen by construction.
 func (t *tree) truncate(n uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for k := range t.levels {
-		if keep := n >> uint(k); uint64(len(t.levels[k])) > keep {
+		keepGlobal := n >> uint(k)
+		o := t.off(k)
+		if keepGlobal < o {
+			keepGlobal = o // defensive: never drop frozen block roots
+		}
+		if keep := keepGlobal - o; uint64(len(t.levels[k])) > keep {
 			t.levels[k] = t.levels[k][:keep]
 		}
 	}
 }
 
-// rootAt computes MTH(D[0:n]) for any historical size n ≤ size.
+// rootAt computes MTH(D[0:n]) for any historical size n ≤ size. For a
+// suffix tree, n must be ≥ the frozen boundary (the decomposition
+// positions of any n ≥ frozen are resident); smaller n returns
+// errColdRange.
 func (t *tree) rootAt(n uint64) (Hash, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if n > uint64(len(t.levels[0])) {
+	if n > t.sizeLocked() {
 		return Hash{}, errors.New("translog: tree size out of range")
 	}
 	if n == 0 {
 		return emptyRoot(), nil
 	}
-	return t.subtree(0, n), nil
+	return t.subtree(0, n)
+}
+
+// blocks returns the roots of n's binary decomposition, largest subtree
+// first — the frozen block set a checkpoint at size n persists. n must
+// be in [frozen, size].
+func (t *tree) blocks(n uint64) ([]Hash, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n > t.sizeLocked() {
+		return nil, errors.New("translog: tree size out of range")
+	}
+	out := make([]Hash, 0, bits.OnesCount64(n))
+	lo := uint64(0)
+	for rem := n; rem > 0; {
+		b := uint64(1) << uint(bits.Len64(rem)-1)
+		h, err := t.subtree(lo, lo+b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+		lo += b
+		rem -= b
+	}
+	return out, nil
+}
+
+// splice grafts a rebuilt cold prefix into a suffix tree: prefix is the
+// per-level node array of a full tree over exactly frozen leaves (the
+// caller has verified its root against the checkpoint). After splice
+// the tree is a full tree — every historical root and proof resolves.
+func (t *tree) splice(prefix [][]Hash) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen == 0 {
+		return
+	}
+	for k := range t.levels {
+		o := t.off(k)
+		if o == 0 {
+			continue
+		}
+		var cold []Hash
+		if k < len(prefix) {
+			cold = prefix[k]
+			if uint64(len(cold)) > o {
+				cold = cold[:o] // the block at off(k) is already resident
+			}
+		}
+		merged := make([]Hash, 0, int(o)+len(t.levels[k]))
+		merged = append(merged, cold...)
+		merged = append(merged, t.levels[k]...)
+		t.levels[k] = merged
+	}
+	t.frozen = 0
 }
 
 // subtree computes MTH(D[lo:hi]) under t.mu. Complete aligned ranges are
-// direct level lookups; only the ragged right edge recurses.
-func (t *tree) subtree(lo, hi uint64) Hash {
+// direct level lookups; only the ragged right edge recurses. A lookup
+// interior to the frozen prefix returns errColdRange.
+func (t *tree) subtree(lo, hi uint64) (Hash, error) {
 	n := hi - lo
-	if n == 1 {
-		return t.levels[0][lo]
-	}
 	if n&(n-1) == 0 && lo&(n-1) == 0 {
-		return t.levels[bits.TrailingZeros64(n)][lo>>uint(bits.TrailingZeros64(n))]
+		k := bits.TrailingZeros64(n)
+		idx := lo >> uint(k)
+		o := t.off(k)
+		if idx < o {
+			return Hash{}, errColdRange
+		}
+		if k >= len(t.levels) || idx-o >= uint64(len(t.levels[k])) {
+			return Hash{}, errors.New("translog: tree node out of range")
+		}
+		return t.levels[k][idx-o], nil
 	}
 	k := largestPowerOfTwoBelow(n)
-	return nodeHash(t.subtree(lo, lo+k), t.subtree(lo+k, hi))
+	l, err := t.subtree(lo, lo+k)
+	if err != nil {
+		return Hash{}, err
+	}
+	r, err := t.subtree(lo+k, hi)
+	if err != nil {
+		return Hash{}, err
+	}
+	return nodeHash(l, r), nil
 }
 
 // inclusionProof returns the RFC 6962 audit path PATH(index, D[size]).
 func (t *tree) inclusionProof(index, size uint64) ([]Hash, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if size > uint64(len(t.levels[0])) {
+	if size > t.sizeLocked() {
 		return nil, errors.New("translog: tree size out of range")
 	}
 	if index >= size {
 		return nil, errors.New("translog: leaf index out of range")
 	}
-	return t.path(index, 0, size), nil
+	return t.path(index, 0, size)
 }
 
 // path implements PATH(m, D[lo:hi]) with m relative to lo.
-func (t *tree) path(m, lo, hi uint64) []Hash {
+func (t *tree) path(m, lo, hi uint64) ([]Hash, error) {
 	n := hi - lo
 	if n == 1 {
-		return nil
+		return nil, nil
 	}
 	k := largestPowerOfTwoBelow(n)
 	if m < k {
-		return append(t.path(m, lo, lo+k), t.subtree(lo+k, hi))
+		p, err := t.path(m, lo, lo+k)
+		if err != nil {
+			return nil, err
+		}
+		s, err := t.subtree(lo+k, hi)
+		if err != nil {
+			return nil, err
+		}
+		return append(p, s), nil
 	}
-	return append(t.path(m-k, lo+k, hi), t.subtree(lo, lo+k))
+	p, err := t.path(m-k, lo+k, hi)
+	if err != nil {
+		return nil, err
+	}
+	s, err := t.subtree(lo, lo+k)
+	if err != nil {
+		return nil, err
+	}
+	return append(p, s), nil
 }
 
 // consistencyProof returns PROOF(first, D[second]) showing D[0:first] is a
@@ -218,7 +379,7 @@ func (t *tree) path(m, lo, hi uint64) []Hash {
 func (t *tree) consistencyProof(first, second uint64) ([]Hash, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if second > uint64(len(t.levels[0])) {
+	if second > t.sizeLocked() {
 		return nil, errors.New("translog: tree size out of range")
 	}
 	if first == 0 || first > second {
@@ -227,23 +388,43 @@ func (t *tree) consistencyProof(first, second uint64) ([]Hash, error) {
 	if first == second {
 		return nil, nil
 	}
-	return t.subproof(first, 0, second, true), nil
+	return t.subproof(first, 0, second, true)
 }
 
 // subproof implements SUBPROOF(m, D[lo:hi], b) with m relative to lo.
-func (t *tree) subproof(m, lo, hi uint64, complete bool) []Hash {
+func (t *tree) subproof(m, lo, hi uint64, complete bool) ([]Hash, error) {
 	n := hi - lo
 	if m == n {
 		if complete {
-			return nil
+			return nil, nil
 		}
-		return []Hash{t.subtree(lo, hi)}
+		s, err := t.subtree(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		return []Hash{s}, nil
 	}
 	k := largestPowerOfTwoBelow(n)
 	if m <= k {
-		return append(t.subproof(m, lo, lo+k, complete), t.subtree(lo+k, hi))
+		p, err := t.subproof(m, lo, lo+k, complete)
+		if err != nil {
+			return nil, err
+		}
+		s, err := t.subtree(lo+k, hi)
+		if err != nil {
+			return nil, err
+		}
+		return append(p, s), nil
 	}
-	return append(t.subproof(m-k, lo+k, hi, false), t.subtree(lo, lo+k))
+	p, err := t.subproof(m-k, lo+k, hi, false)
+	if err != nil {
+		return nil, err
+	}
+	s, err := t.subtree(lo, lo+k)
+	if err != nil {
+		return nil, err
+	}
+	return append(p, s), nil
 }
 
 // Proof verification is stateless: auditors hold only hashes, sizes and

@@ -57,6 +57,20 @@ type recovered struct {
 	// tails describes where appends resume: one entry for the single
 	// layout, shards entries otherwise.
 	tails []streamTail
+	// ckpt is the verified checkpoint the replay was based from (nil for
+	// a full replay). With a checkpoint, entries/payloads hold only the
+	// suffix — global ordinals [ckpt.size, size) — and tree is seeded
+	// from the checkpoint's frozen subtree roots.
+	ckpt *checkpoint
+}
+
+// size is the recovered global entry count: the checkpoint base plus
+// the replayed suffix.
+func (r *recovered) size() uint64 {
+	if r.ckpt != nil {
+		return r.ckpt.size + uint64(len(r.entries))
+	}
+	return uint64(len(r.entries))
 }
 
 // streamTail is one stream's resumption point.
@@ -80,7 +94,13 @@ type trimOp struct {
 	remove   bool  // ...or remove the file entirely
 }
 
-func applyTrims(trims []trimOp) error {
+// applyTrims performs the deferred mutations durably: each truncated
+// file is fsynced and the parent directory is fsynced once at the end
+// (removals are only durable when the directory is). Without the syncs
+// a crash right after recovery can resurrect the trimmed tail, and the
+// next open re-discovers — and re-reports — torn state this one already
+// repaired.
+func applyTrims(dir string, trims []trimOp, noSync bool) error {
 	for _, op := range trims {
 		if op.remove {
 			if err := os.Remove(op.path); err != nil {
@@ -88,9 +108,26 @@ func applyTrims(trims []trimOp) error {
 			}
 			continue
 		}
-		if err := os.Truncate(op.path, op.truncate); err != nil {
+		f, err := os.OpenFile(op.path, os.O_RDWR, 0o600)
+		if err != nil {
 			return fmt.Errorf("translog: truncating torn tail: %w", err)
 		}
+		if err := f.Truncate(op.truncate); err != nil {
+			f.Close()
+			return fmt.Errorf("translog: truncating torn tail: %w", err)
+		}
+		if !noSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("translog: syncing trimmed tail: %w", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("translog: closing trimmed tail: %w", err)
+		}
+	}
+	if len(trims) > 0 && !noSync {
+		return syncDir(dir)
 	}
 	return nil
 }
@@ -114,6 +151,16 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 	if err != nil {
 		return nil, err
 	}
+	// A verified checkpoint turns the replay into a suffix replay: the
+	// cold prefix is summarized by its frozen subtree roots, and only
+	// records at or past the checkpoint are decoded. loadCheckpoint
+	// already classified every way the file can lie (ErrStateCorrupt /
+	// ErrStateTampered / ErrStateRollback) — a bad checkpoint refuses
+	// the open, it is never silently ignored.
+	ckpt, err := loadCheckpoint(dir, sthAnchor.pub)
+	if err != nil {
+		return nil, err
+	}
 	var rec *recovered
 	var trims []trimOp
 	var segments int
@@ -125,8 +172,12 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 		if len(firsts) > 0 {
 			return nil, fmt.Errorf("%w: single-stream segments in a store pinned to %d shards", ErrStateCorrupt, metaShards)
 		}
-		rec, trims, segments, err = recoverSharded(dir, metaShards, shardFirsts)
-	case len(shardFirsts) > 0 || (len(firsts) == 0 && cfg.Shards > 1):
+		if ckpt != nil && len(ckpt.streamCounts) != metaShards {
+			return nil, fmt.Errorf("%w: checkpoint covers %d segment streams in a store pinned to %d shards",
+				ErrStateCorrupt, len(ckpt.streamCounts), metaShards)
+		}
+		rec, trims, segments, err = recoverSharded(dir, metaShards, shardFirsts, ckpt)
+	case len(shardFirsts) > 0 || (len(firsts) == 0 && cfg.Shards > 1 && ckpt == nil):
 		nShards := cfg.Shards
 		if nShards <= 1 {
 			nShards = 2 // layout is sharded regardless of what cfg says now
@@ -136,20 +187,44 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 				nShards = shard + 1
 			}
 		}
-		rec, trims, segments, err = recoverSharded(dir, nShards, shardFirsts)
+		if ckpt != nil && len(ckpt.streamCounts) != nShards {
+			return nil, fmt.Errorf("%w: checkpoint covers %d segment streams but the store holds %d",
+				ErrStateCorrupt, len(ckpt.streamCounts), nShards)
+		}
+		rec, trims, segments, err = recoverSharded(dir, nShards, shardFirsts, ckpt)
 	default:
-		rec, trims, segments, err = recoverSingle(dir, firsts)
+		if ckpt != nil && len(ckpt.streamCounts) != 0 {
+			return nil, fmt.Errorf("%w: sharded checkpoint (%d streams) in a single-stream store",
+				ErrStateCorrupt, len(ckpt.streamCounts))
+		}
+		rec, trims, segments, err = recoverSingle(dir, firsts, ckpt)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	rec.tree = newTree()
+	if rec.ckpt != nil {
+		rec.tree = newTreeFromFrozen(rec.ckpt.size, rec.ckpt.blocks)
+	} else {
+		rec.tree = newTree()
+	}
 	for _, p := range rec.payloads {
 		rec.tree.append(LeafHash(p))
 	}
-	size := uint64(len(rec.entries))
-	state := &RecoveredState{Size: size, Segments: segments, rootAt: rec.tree.rootAt}
+	size := rec.size()
+	// Anchors only ever remember heads at or past the checkpoint — a
+	// checkpoint is written only after its head was committed through
+	// the whole chain — so rootAt below the checkpoint means the anchor's
+	// own memory predates a checkpoint that could not exist without it.
+	rootAt := func(n uint64) (Hash, error) {
+		h, err := rec.tree.rootAt(n)
+		if errors.Is(err, errColdRange) {
+			return Hash{}, fmt.Errorf("%w: anchor remembers a head at size %d, below the checkpoint at %d",
+				ErrStateTampered, n, rec.ckpt.size)
+		}
+		return h, err
+	}
+	state := &RecoveredState{Size: size, Segments: segments, rootAt: rootAt}
 	if err := sthAnchor.CheckRecovery(state); err != nil {
 		return nil, err
 	}
@@ -160,7 +235,7 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 	}
 	// Physical mutations only after every anchor accepted: trim the torn
 	// material, and pin a freshly created sharded layout's stream count.
-	if err := applyTrims(trims); err != nil {
+	if err := applyTrims(dir, trims, cfg.NoSync); err != nil {
 		return nil, err
 	}
 	if rec.shards > 0 && !haveMeta {
@@ -172,6 +247,9 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 	rec.sth = sth
 	rec.sthStale = !have || size != sth.Size
 	mRecoverEntries.Add(uint64(len(rec.entries)))
+	if rec.ckpt != nil {
+		mRecoverSuffixEntries.Add(uint64(len(rec.entries)))
+	}
 	for _, op := range trims {
 		if op.remove {
 			mRecoverRemovedSegs.Inc()
@@ -184,14 +262,36 @@ func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []Trust
 	return rec, nil
 }
 
-// recoverSingle replays the legacy single-stream layout.
-func recoverSingle(dir string, firsts []uint64) (*recovered, []trimOp, int, error) {
-	rec := &recovered{shards: 0}
+// recoverSingle replays the legacy single-stream layout. With a
+// checkpoint, records below it are skipped without decoding (they are
+// summarized by the frozen subtree roots) and compaction may already
+// have removed whole cold segments, so the oldest surviving segment
+// need not start at zero — only at or below the checkpoint.
+func recoverSingle(dir string, firsts []uint64, ckpt *checkpoint) (*recovered, []trimOp, int, error) {
+	rec := &recovered{shards: 0, ckpt: ckpt}
+	base := uint64(0)
+	if ckpt != nil {
+		base = ckpt.size
+	}
 	var trims []trimOp
+	ordinal := base // global ordinal of the next record to read
 	for i, first := range firsts {
-		if first != uint64(len(rec.entries)) {
+		switch {
+		case i == 0 && ckpt == nil && first != 0:
+			return nil, nil, 0, fmt.Errorf("%w: segment %s starts at %d, want 0",
+				ErrStateCorrupt, segmentName(first), first)
+		case i == 0 && first > base:
+			// Compaction only removes segments below a checkpoint that
+			// was newer than them, so a WAL that resumes past the
+			// checkpoint means checkpoint.bin was swapped for an older
+			// one after the cold segments it summarized were removed.
+			return nil, nil, 0, fmt.Errorf("%w: checkpoint covers %d entries but the oldest WAL segment starts at %d",
+				ErrStateRollback, base, first)
+		case i == 0:
+			ordinal = first
+		case first != ordinal:
 			return nil, nil, 0, fmt.Errorf("%w: segment %s starts at %d, want %d",
-				ErrStateCorrupt, segmentName(first), first, len(rec.entries))
+				ErrStateCorrupt, segmentName(first), first, ordinal)
 		}
 		path := filepath.Join(dir, segmentName(first))
 		payloads, clean, err := readSegment(path)
@@ -209,21 +309,26 @@ func recoverSingle(dir string, firsts []uint64) (*recovered, []trimOp, int, erro
 			return nil, nil, 0, err
 		}
 		for _, p := range payloads {
+			if ordinal < base {
+				ordinal++ // cold record, summarized by the checkpoint
+				continue
+			}
 			e, err := UnmarshalEntry(p)
 			if err != nil {
-				return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, len(rec.entries), err)
+				return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, ordinal, err)
 			}
 			rec.entries = append(rec.entries, e)
 			rec.payloads = append(rec.payloads, p)
+			ordinal++
 		}
 		if last {
 			rec.tails = []streamTail{{
-				count: uint64(len(rec.entries)), tailFirst: first, tailClean: int64(clean), hasTail: true,
+				count: ordinal, tailFirst: first, tailClean: int64(clean), hasTail: true,
 			}}
 		}
 	}
 	if rec.tails == nil {
-		rec.tails = []streamTail{{}}
+		rec.tails = []streamTail{{count: base}}
 	}
 	return rec, trims, len(firsts), nil
 }
@@ -243,13 +348,22 @@ type shardRecord struct {
 
 // recoverSharded replays every per-host stream and interleaves the
 // records back into the global order. nShards is the store's pinned (or
-// derived) stream count.
-func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64) (*recovered, []trimOp, int, error) {
+// derived) stream count. With a checkpoint, each stream skips records
+// whose global index is below it (the checkpoint's per-stream counts
+// say how many of each stream's ordinals are cold, so a compacted
+// stream may resume — or be entirely empty — past ordinal zero).
+func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64, ckpt *checkpoint) (*recovered, []trimOp, int, error) {
 	for shard := range shardFirsts {
 		if shard >= nShards {
 			return nil, nil, 0, fmt.Errorf("%w: segment stream %d in a store with %d shard slots",
 				ErrStateCorrupt, shard, nShards)
 		}
+	}
+	base := uint64(0)
+	bc := make([]uint64, nShards) // per-stream cold record counts
+	if ckpt != nil {
+		base = ckpt.size
+		copy(bc, ckpt.streamCounts)
 	}
 
 	var all []shardRecord
@@ -260,12 +374,22 @@ func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64) (*rec
 	segPaths := make([][]string, nShards)
 	tailClean := make([]int64, nShards)
 	for shard := 0; shard < nShards; shard++ {
+		counts[shard] = bc[shard] // fully compacted (or untouched) stream
 		firsts := shardFirsts[shard]
 		segments += len(firsts)
 		prevIndex := uint64(0)
 		haveRecord := false
 		for i, first := range firsts {
-			if first != counts[shard] {
+			switch {
+			case i == 0 && ckpt == nil && first != 0:
+				return nil, nil, 0, fmt.Errorf("%w: segment %s starts at stream ordinal %d, want 0",
+					ErrStateCorrupt, shardSegmentName(shard, first), first)
+			case i == 0 && first > bc[shard]:
+				return nil, nil, 0, fmt.Errorf("%w: checkpoint covers %d records of stream %d but its oldest segment starts at %d",
+					ErrStateRollback, bc[shard], shard, first)
+			case i == 0:
+				counts[shard] = first
+			case first != counts[shard]:
 				return nil, nil, 0, fmt.Errorf("%w: segment %s starts at stream ordinal %d, want %d",
 					ErrStateCorrupt, shardSegmentName(shard, first), first, counts[shard])
 			}
@@ -289,16 +413,18 @@ func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64) (*rec
 				if err != nil {
 					return nil, nil, 0, err
 				}
-				e, uerr := UnmarshalEntry(body)
-				if uerr != nil {
-					return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, index, uerr)
-				}
 				if haveRecord && index <= prevIndex {
 					return nil, nil, 0, fmt.Errorf("%w: stream %d global index %d not increasing (previous %d)",
 						ErrStateCorrupt, shard, index, prevIndex)
 				}
 				prevIndex, haveRecord = index, true
-				all = append(all, shardRecord{index: index, entry: e, payload: body, shard: shard, seg: i, off: off})
+				if index >= base {
+					e, uerr := UnmarshalEntry(body)
+					if uerr != nil {
+						return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, index, uerr)
+					}
+					all = append(all, shardRecord{index: index, entry: e, payload: body, shard: shard, seg: i, off: off})
+				}
 				off += recordHeaderLen + int64(len(p))
 				counts[shard]++
 			}
@@ -324,13 +450,13 @@ func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64) (*rec
 	}
 	prefix := len(all)
 	for i, r := range all {
-		if r.index != uint64(i) {
+		if r.index != base+uint64(i) {
 			prefix = i
 			break
 		}
 	}
 
-	rec := &recovered{shards: nShards}
+	rec := &recovered{shards: nShards, ckpt: ckpt}
 	for _, r := range all[:prefix] {
 		rec.entries = append(rec.entries, r.entry)
 		rec.payloads = append(rec.payloads, r.payload)
@@ -436,13 +562,30 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 		issuance: make(map[string]uint64),
 		revoked:  make(map[string]bool),
 	}
+	base := uint64(0)
+	if rec.ckpt != nil {
+		// The cold prefix stays on disk: the serial indexes come from the
+		// checkpoint's (signature-covered) snapshot, the arena starts at
+		// the checkpoint base, and frozenRoot pins what a later hydration
+		// of the archived entries must reproduce.
+		base = rec.ckpt.size
+		l.frozenRoot = rec.ckpt.sth.RootHash
+		l.entries.base = base
+		for k, v := range rec.ckpt.issuance {
+			l.issuance[k] = v
+		}
+		for k := range rec.ckpt.revoked {
+			l.revoked[k] = true
+		}
+		store.lastCkpt.Store(base)
+	}
 	for i, e := range rec.entries {
-		l.indexEntry(e, uint64(i))
+		l.indexEntry(e, base+uint64(i))
 		// The arena adopts the replayed canonical bytes — the same bytes
 		// the recovery pass hashed into the rebuilt tree.
 		l.entries.add(rec.payloads[i])
 	}
-	size := uint64(len(rec.entries))
+	size := rec.size()
 	sth := rec.sth
 	if rec.sthStale {
 		// Fresh store, or durable entries past the persisted head: sign
@@ -470,5 +613,18 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 	}
 	l.sth = sth
 	l.store = store
+	if rec.ckpt != nil && cfg.CheckpointEvery > 0 {
+		// Finish whatever compaction a crash interrupted: records the
+		// checkpoint already summarizes may still sit in cold WAL
+		// segments. Off the open path; Close waits it out.
+		if l.ckptBusy.CompareAndSwap(false, true) {
+			l.ckptWG.Add(1)
+			go func() {
+				defer l.ckptWG.Done()
+				defer l.ckptBusy.Store(false)
+				_ = l.store.compact(l.store.lastCkpt.Load())
+			}()
+		}
+	}
 	return l, nil
 }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vnfguard/internal/obs"
@@ -105,6 +106,16 @@ type StoreConfig struct {
 	// store keeps whichever layout is on disk. 0 or 1 keeps the single
 	// stream.
 	Shards int
+	// CheckpointEvery, when > 0, persists an anchor-verified checkpoint
+	// (frozen subtree roots + serial-index snapshot, signed by the log
+	// key) every time the log grows that many entries past the previous
+	// checkpoint, and compacts the WAL segments the checkpoint froze
+	// into read-optimised archive files. Recovery then replays only the
+	// WAL suffix past the checkpoint instead of the whole log — the
+	// flat-restart property a long-lived production log needs. 0
+	// disables checkpointing (every open replays from index zero,
+	// exactly as before).
+	CheckpointEvery uint64
 }
 
 // Store is the write-ahead, append-only on-disk half of a durable Log:
@@ -123,6 +134,14 @@ type Store struct {
 	// histograms, parallel to anchors — resolved once at open so the
 	// commit path never touches the telemetry registry.
 	anchorHist []*obs.Histogram
+
+	// lastCkpt is the size covered by the newest durable checkpoint
+	// (0 when none): the log's checkpoint trigger compares it against
+	// the committed size.
+	lastCkpt atomic.Uint64
+	// compactMu serialises compaction runs against cold-prefix reads,
+	// so hydration never races a segment unlink.
+	compactMu sync.Mutex
 
 	mu sync.Mutex
 	// shards is the active layout: 0 for the legacy single stream,
@@ -174,7 +193,7 @@ func openStoreDir(dir string, cfg StoreConfig, anchors []TrustAnchor, rec *recov
 	if cfg.SegmentMaxBytes <= 0 {
 		cfg.SegmentMaxBytes = defaultSegmentMaxBytes
 	}
-	s := &Store{dir: dir, cfg: cfg, anchors: anchors, shards: rec.shards, size: uint64(len(rec.entries))}
+	s := &Store{dir: dir, cfg: cfg, anchors: anchors, shards: rec.shards, size: rec.size()}
 	for _, a := range anchors {
 		s.anchorHist = append(s.anchorHist, anchorHistogram(a.Name()))
 	}
@@ -211,6 +230,29 @@ func (s *Store) closeStreams() {
 // (0 for the legacy single-stream layout). Fixed at open, so reading it
 // without the lock is safe.
 func (s *Store) shardCount() int { return s.shards }
+
+// checkpointDue reports whether the committed size has outgrown the
+// newest checkpoint by the configured interval.
+func (s *Store) checkpointDue(size uint64) bool {
+	return s.cfg.CheckpointEvery > 0 && size >= s.lastCkpt.Load()+s.cfg.CheckpointEvery
+}
+
+// streamCounts snapshots each stream's durable record count (nil for
+// the single-stream layout, whose count is the global size). Callers
+// hold the log lock, so no commit is in flight and the counts
+// correspond exactly to the committed tree.
+func (s *Store) streamCounts() []uint64 {
+	if s.shards == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make([]uint64, len(s.streams))
+	for i, st := range s.streams {
+		counts[i] = st.count
+	}
+	return counts
+}
 
 // appendBatch durably frames the batch payloads and then commits sth to
 // every trust anchor. shardIdx routes each payload to its host stream in

@@ -67,6 +67,16 @@ var (
 		"Store recovery latency: replay, tree rebuild and anchor verification.")
 	mRecoverLast = obsReg.Stamp("translog_recovery_last_unix_seconds",
 		"When the last successful store recovery finished.")
+	mRecoverSuffixEntries = obsReg.Counter("translog_recovery_suffix_entries_total",
+		"Entries replayed past the checkpoint during a checkpointed recovery (the suffix length).")
+
+	// Checkpoints and compaction.
+	mCkptLast = obsReg.Stamp("translog_checkpoint_last_unix_seconds",
+		"When the last durable checkpoint was written.")
+	mCkptBytes = obsReg.Gauge("translog_checkpoint_bytes",
+		"Size of the newest durable checkpoint file.")
+	mCompactRuns = obsReg.Counter("translog_compaction_runs_total",
+		"Cold-segment compaction runs that archived at least one record.")
 
 	// Sealed-head anchor enclave calls.
 	mSealedSeal = obsReg.Histogram("translog_sealed_seal_seconds",
