@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDriverExitCodes runs the driver over the fixture modules under
+// testdata/ and pins the exit-code contract: 0 clean, 1 findings, 2
+// load or type-check failure.
+func TestDriverExitCodes(t *testing.T) {
+	cases := []struct {
+		fixture    string
+		wantExit   int
+		wantStdout string // substring of stdout, "" for none expected
+		wantStderr string // substring of stderr, "" for none expected
+	}{
+		{"fixture-clean", 0, "", ""},
+		{"fixture-dirty", 1, "atomicwrite", "finding(s)"},
+		{"fixture-broken", 2, "", "undefinedIdentifier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(&stdout, &stderr, []string{"-dir", filepath.Join("testdata", tc.fixture), "./..."})
+			if got != tc.wantExit {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", got, tc.wantExit, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout == "" && stdout.Len() > 0 {
+				t.Errorf("unexpected stdout:\n%s", stdout.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestDirtyFindingFormat pins the file:line: rule: message output shape.
+func TestDirtyFindingFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run(&stdout, &stderr, []string{"-dir", filepath.Join("testdata", "fixture-dirty"), "./..."}); got != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if !strings.Contains(line, "main.go:") || !strings.Contains(line, ": atomicwrite: ") {
+			t.Errorf("finding line %q does not match file:line: rule: message", line)
+		}
+	}
+}
+
+// TestRuleSelection pins -rules filtering and the unknown-rule error.
+func TestRuleSelection(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// Only goroutinetest selected: the dirty fixture's atomicwrite
+	// findings must not appear.
+	if got := run(&stdout, &stderr, []string{"-rules", "goroutinetest", "-dir", filepath.Join("testdata", "fixture-dirty"), "./..."}); got != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", got, stdout.String(), stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := run(&stdout, &stderr, []string{"-rules", "nosuchrule", "./..."}); got != 2 {
+		t.Fatalf("unknown rule: exit %d, want 2", got)
+	}
+	if !strings.Contains(stderr.String(), "unknown rule") {
+		t.Errorf("stderr missing unknown-rule error: %s", stderr.String())
+	}
+}
+
+// TestListRules pins -list output to the full suite.
+func TestListRules(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run(&stdout, &stderr, []string{"-list"}); got != 0 {
+		t.Fatalf("exit %d, want 0", got)
+	}
+	for _, rule := range []string{"atomicwrite", "errtaxonomy", "lockscope", "obshandle", "goroutinetest", "unusedexport"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list output missing %s:\n%s", rule, stdout.String())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module fixturebroken
+
+go 1.24

@@ -1,0 +1,7 @@
+// Package main is the broken driver fixture: it does not type-check,
+// so vnfguard-lint must report a load error and exit 2.
+package main
+
+func main() {
+	undefinedIdentifier()
+}

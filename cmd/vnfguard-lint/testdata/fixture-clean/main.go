@@ -1,0 +1,9 @@
+// Package main is the clean driver fixture: nothing for any rule to
+// flag, so vnfguard-lint must exit 0.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("clean")
+}

@@ -1,0 +1,10 @@
+// Package main is the dirty driver fixture: a bare os.Rename and a raw
+// os.WriteFile, so vnfguard-lint must report findings and exit 1.
+package main
+
+import "os"
+
+func main() {
+	_ = os.WriteFile("state.tmp", []byte("x"), 0o600)
+	_ = os.Rename("state.tmp", "state")
+}

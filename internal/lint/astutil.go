@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type helpers for the analyzers.
+
+// walkStack walks root in source order, calling fn with each node and
+// the stack of its ancestors (outermost first, n excluded). Returning
+// false from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Pop immediately: Inspect will not descend, so the nil
+			// closing visit for this node never comes.
+			stack = stack[:len(stack)-1]
+		}
+		return keep
+	})
+}
+
+// pkgFunc matches a call to pkg.Name where pkg resolves to the package
+// with the given import path (so aliased imports are still caught).
+func pkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// methodCall reports whether call is a method call named name, returning
+// the receiver expression.
+func methodCall(call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// recvTypeNamed reports whether the method call's receiver type (pointer
+// stripped) is the named type pkgSuffix.typeName — e.g. ("os", "File")
+// or ("internal/obs", "Registry"). pkgSuffix is matched as a path
+// suffix so testdata fixtures and the real module both resolve.
+func recvTypeNamed(info *types.Info, call *ast.CallExpr, pkgSuffix, typeName string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pkgSuffix || strings.HasSuffix(p, "/"+pkgSuffix)
+}
+
+// sentinelVar reports whether e resolves to a package-level error
+// variable whose name starts with "Err" — the shape every taxonomy
+// sentinel in this codebase has.
+func sentinelVar(info *types.Info, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !strings.HasPrefix(v.Name(), "Err") {
+		return "", false
+	}
+	if !types.Implements(v.Type(), errorIface) {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// errorIface is the built-in error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// exprText renders a (selector/ident) expression as dotted text for
+// messages and lock identity: "l.mu", "s.store.mu". Non-path
+// expressions render as "…".
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return exprText(x.X)
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	default:
+		return "…"
+	}
+}
+
+// enclosingFunc returns the innermost enclosing function declaration or
+// literal from a walk stack, plus the FuncDecl name ("" inside a
+// literal or at package level).
+func enclosingFunc(stack []ast.Node) (ast.Node, string) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncLit:
+			return f, ""
+		case *ast.FuncDecl:
+			return f, f.Name.Name
+		}
+	}
+	return nil, ""
+}
+
+// inLoop reports whether any ancestor between the innermost enclosing
+// function and the node is a for/range statement.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

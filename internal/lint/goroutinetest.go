@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// goroutinetest enforces goroutine discipline in tests. Two bug shapes
+// this repo has actually reviewed out of concurrent test code:
+//
+//  1. t.Fatal / t.Fatalf / t.FailNow (and Skip variants) inside a
+//     goroutine: testing.T documents that FailNow must be called from
+//     the test goroutine — from any other it exits that goroutine
+//     without stopping the test, so the failure can be lost and
+//     cleanup ordering breaks. Use t.Error/t.Errorf and return.
+//  2. A sync.WaitGroup that is Add()ed but never Wait()ed in the same
+//     function: the test can pass while its goroutines are still
+//     running (or panicking) after the store they poke is closed —
+//     the exact shape of the Flush/Close races PR 3 and PR 5 fixed and
+//     stress-pinned.
+//
+// Only _test.go files are checked.
+
+// GoroutineTest is the test-goroutine-discipline analyzer.
+var GoroutineTest = &Analyzer{
+	Name: "goroutinetest",
+	Doc:  "no t.Fatal inside goroutines, and every WaitGroup Add has a Wait in the same test",
+	Run:  runGoroutineTest,
+}
+
+// fatalMethods are the testing.T/B/F methods that must run on the test
+// goroutine.
+var fatalMethods = map[string]bool{
+	"Fatal":   true,
+	"Fatalf":  true,
+	"FailNow": true,
+	"Skip":    true,
+	"Skipf":   true,
+	"SkipNow": true,
+}
+
+func runGoroutineTest(p *Pass) {
+	for _, file := range p.Files {
+		if !p.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFatalInGoroutine(p, fd)
+			checkWaitGroupWaited(p, fd)
+		}
+	}
+}
+
+// checkFatalInGoroutine flags fatal testing calls lexically inside any
+// function literal spawned by a go statement (including literals the
+// goroutine's body nests).
+func checkFatalInGoroutine(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !fatalMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isTestingRecv(p.Info, sel.X) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s.%s inside a goroutine; FailNow only works from the test goroutine — use %s.Error and return (collect failures, then t.Fatal after Wait)",
+				exprText(sel.X), sel.Sel.Name, exprText(sel.X))
+			return true
+		})
+		return true
+	})
+}
+
+// isTestingRecv reports whether e is a *testing.T, *testing.B or
+// *testing.F value.
+func isTestingRecv(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	s := tv.Type.String()
+	return s == "*testing.T" || s == "*testing.B" || s == "*testing.F" ||
+		strings.HasSuffix(s, "testing.T") || strings.HasSuffix(s, "testing.B")
+}
+
+// checkWaitGroupWaited flags WaitGroups with Add but no Wait in the
+// same function (literals included — helpers often own the whole
+// lifecycle).
+func checkWaitGroupWaited(p *Pass, fd *ast.FuncDecl) {
+	added := map[types.Object]ast.Node{}
+	waited := map[types.Object]bool{}
+	record := func(call *ast.CallExpr, method string) (types.Object, bool) {
+		recv, ok := methodCall(call, method)
+		if !ok {
+			return nil, false
+		}
+		id, ok := recv.(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || obj.Type() == nil {
+			return nil, false
+		}
+		if t := strings.TrimPrefix(obj.Type().String(), "*"); t != "sync.WaitGroup" {
+			return nil, false
+		}
+		return obj, true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, ok := record(call, "Add"); ok {
+			if _, seen := added[obj]; !seen {
+				added[obj] = call
+			}
+		}
+		if obj, ok := record(call, "Wait"); ok {
+			waited[obj] = true
+		}
+		return true
+	})
+	for obj, site := range added {
+		if !waited[obj] {
+			p.Reportf(site.Pos(),
+				"sync.WaitGroup %s is Add()ed but never Wait()ed in this function; the test can finish (and tear state down) while its goroutines still run",
+				obj.Name())
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package lint is vnfguard's project-invariant analyzer suite: a
+// stdlib-only static-analysis framework (go/ast + go/parser + go/types,
+// with go/importer's source importer so go.mod stays dependency-free)
+// plus the analyzers that machine-check the invariants this codebase's
+// guarantees rest on — the tmp+fsync+rename+dir-sync write discipline,
+// the ErrStateCorrupt/Tampered/Rollback error taxonomy, the "no proof
+// path takes the commit lock" rule, pre-resolved telemetry handles, and
+// goroutine discipline in tests. Each analyzer is derived from a bug
+// class a past PR actually fixed; the suite turns those reviewer-memory
+// invariants into a build-time check (cmd/vnfguard-lint).
+//
+// Findings are reported as `file:line: rule: message`. A finding is
+// suppressed by a `//lint:allow <rule> <reason>` comment on the same
+// line or the line directly above; the reason is mandatory — an allow
+// without one is itself a finding, so every suppression in the tree
+// carries a written justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the canonical file:line: rule: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Unit is one loaded, type-checked package: the syntax of its compiled
+// files (in-package test files included) plus the type information the
+// analyzers consult.
+type Unit struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// Pass is one analyzer's view of one Unit.
+type Pass struct {
+	*Unit
+	rule   string
+	report func(Finding)
+}
+
+// Reportf records a finding at pos under the running analyzer's rule.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{Pos: p.Fset.Position(pos), Rule: p.rule, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file holding pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Analyzer checks one package at a time.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// GlobalAnalyzer checks the whole loaded tree at once (cross-package
+// rules like unusedexport need every package's use sites).
+type GlobalAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(units []*Unit, report func(Finding))
+}
+
+// Analyzers is the per-package suite, in reporting order.
+var Analyzers = []*Analyzer{
+	AtomicWrite,
+	ErrTaxonomy,
+	LockScope,
+	ObsHandle,
+	GoroutineTest,
+}
+
+// GlobalAnalyzers is the whole-tree suite.
+var GlobalAnalyzers = []*GlobalAnalyzer{
+	UnusedExport,
+}
+
+// allowDirective is the suppression comment prefix.
+const allowDirective = "//lint:allow"
+
+// allowSet maps rule → file:line positions where findings are allowed.
+type allowSet map[string]map[string]bool
+
+func allowKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// collectAllows scans every comment in the units for //lint:allow
+// directives. A well-formed directive suppresses its rule on the
+// comment's own line and the line below (so it works both as a trailing
+// comment and on its own line above the finding). A directive without a
+// written reason is returned as a finding under the reserved rule
+// "lint" — suppressions must justify themselves.
+func collectAllows(units []*Unit) (allowSet, []Finding) {
+	allows := allowSet{}
+	var bad []Finding
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, allowDirective)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					pos := u.Fset.Position(c.Pos())
+					if len(fields) < 2 {
+						bad = append(bad, Finding{Pos: pos, Rule: "lint",
+							Message: "//lint:allow needs a rule name and a written reason: //lint:allow <rule> <reason>"})
+						continue
+					}
+					rule := fields[0]
+					if allows[rule] == nil {
+						allows[rule] = map[string]bool{}
+					}
+					allows[rule][allowKey(pos)] = true
+					next := pos
+					next.Line++
+					allows[rule][allowKey(next)] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppressed reports whether an allow directive covers the finding.
+func (a allowSet) suppressed(f Finding) bool {
+	return a[f.Rule][allowKey(f.Pos)]
+}
+
+// RunAnalyzers runs the given suites over the loaded units, applies
+// //lint:allow suppression, and returns the surviving findings sorted
+// by position.
+func RunAnalyzers(units []*Unit, analyzers []*Analyzer, globals []*GlobalAnalyzer) []Finding {
+	var all []Finding
+	collect := func(f Finding) { all = append(all, f) }
+	for _, u := range units {
+		for _, a := range analyzers {
+			a.Run(&Pass{Unit: u, rule: a.Name, report: collect})
+		}
+	}
+	for _, g := range globals {
+		rule := g.Name
+		g.Run(units, func(f Finding) {
+			f.Rule = rule
+			collect(f)
+		})
+	}
+	allows, bad := collectAllows(units)
+	kept := bad
+	for _, f := range all {
+		if !allows.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
+	return kept
+}

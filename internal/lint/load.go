@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loading: packages come from `go list -json` (the same source the build
+// uses, so build tags and module boundaries are honoured), are parsed
+// with go/parser and type-checked with go/types. Imports resolve through
+// go/importer's source importer — pure stdlib, no golang.org/x/tools —
+// with one shared importer per Loader so each dependency is checked once
+// per run.
+
+// Loader parses and type-checks packages under one shared FileSet and
+// importer.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a fresh loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset returns the loader's FileSet.
+func (ld *Loader) Fset() *token.FileSet { return ld.fset }
+
+// LoadFiles parses and type-checks the named files as one package.
+func (ld *Loader) LoadFiles(pkgPath string, filenames []string) (*Unit, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: ld.imp}
+	pkg, err := conf.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Unit{PkgPath: pkgPath, Fset: ld.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// LoadDir loads every .go file in dir (test files included) as one
+// package under pkgPath — the golden-test harness's entry point for
+// testdata packages, which `go list` does not see.
+func (ld *Loader) LoadDir(dir, pkgPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	return ld.LoadFiles(pkgPath, names)
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// goList enumerates the packages matching patterns, rooted at dir.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles,TestGoFiles,XTestGoFiles,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the packages matching patterns (rooted at dir) and returns
+// one Unit per compiled package: in-package test files are checked
+// together with the package sources (as `go test` compiles them), and
+// external _test packages become their own unit.
+func Load(dir string, patterns []string) ([]*Unit, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := NewLoader()
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		join := func(names []string) []string {
+			out := make([]string, len(names))
+			for i, n := range names {
+				out[i] = filepath.Join(p.Dir, n)
+			}
+			return out
+		}
+		if len(p.GoFiles)+len(p.TestGoFiles) > 0 {
+			u, err := ld.LoadFiles(p.ImportPath, append(join(p.GoFiles), join(p.TestGoFiles)...))
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+		if len(p.XTestGoFiles) > 0 {
+			u, err := ld.LoadFiles(p.ImportPath+"_test", join(p.XTestGoFiles))
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, u)
+		}
+	}
+	return units, nil
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// obshandle enforces the telemetry plane's core contract (PR 6): every
+// instrument is resolved from the obs registry once — at package init
+// or at construction — and the hot paths (append, commit, gossip,
+// recovery) only ever touch pre-resolved handles, each a few atomics.
+// A registry lookup (Counter/Gauge/Histogram/Stamp by name) takes the
+// registry mutex and a map lookup; on a hot path, or worse inside a
+// loop, it reintroduces exactly the contention
+// TestScrapeNeverBlocksSequencerCommit exists to rule out.
+//
+// Lookups are therefore allowed only in package-level variable
+// initialisers and in constructor-shaped functions (New*, Open*, new*,
+// open*, make*, init). Anything else — and any lookup inside a loop,
+// wherever it sits — is flagged. Memoised resolvers that are genuinely
+// called at construction time carry a written //lint:allow. Test files
+// are exempt: tests are not hot paths. The obs package itself is
+// exempt: it implements the registry.
+
+// ObsHandle is the telemetry-handle analyzer.
+var ObsHandle = &Analyzer{
+	Name: "obshandle",
+	Doc:  "obs registry lookups belong in package init or constructors; hot paths use pre-resolved handles",
+	Run:  runObsHandle,
+}
+
+// lookupMethods are the registry's by-name instrument resolvers.
+var lookupMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Stamp":     true,
+}
+
+// constructorShaped reports whether a function name marks construction
+// time, where registry lookups are expected.
+func constructorShaped(name string) bool {
+	for _, prefix := range [...]string{"New", "Open", "new", "open", "make", "init"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runObsHandle(p *Pass) {
+	if p.Pkg.Name() == "obs" {
+		return
+	}
+	for _, file := range p.Files {
+		if p.IsTestFile(file.Pos()) {
+			continue
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !lookupMethods[sel.Sel.Name] {
+				return true
+			}
+			if !recvTypeNamed(p.Info, call, "internal/obs", "Registry") {
+				return true
+			}
+			fn, fnName := enclosingFunc(stack)
+			switch {
+			case inLoop(stack):
+				p.Reportf(call.Pos(),
+					"obs registry lookup %s(%s) inside a loop; resolve the handle once at construction and reuse it",
+					sel.Sel.Name, lookupName(call))
+			case fn == nil:
+				// Package-level var initialiser: the blessed pattern.
+			case fnName != "" && constructorShaped(fnName):
+				// Constructor: lookups here run once per component.
+			default:
+				p.Reportf(call.Pos(),
+					"obs registry lookup %s(%s) outside package init or a constructor; hot paths must use a pre-resolved handle (struct field or package var)",
+					sel.Sel.Name, lookupName(call))
+			}
+			return true
+		})
+	}
+}
+
+// lookupName extracts the series name argument for the message, when it
+// is a literal.
+func lookupName(call *ast.CallExpr) string {
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			return lit.Value
+		}
+	}
+	return "…"
+}

@@ -1,0 +1,45 @@
+// Package errtaxonomy is golden-test input for the error-taxonomy rule.
+// The file is named recover.go because the taxonomy-escape half of the
+// rule keys off the open-path file names.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStateCorrupt stands in for the real taxonomy sentinels.
+var ErrStateCorrupt = errors.New("errtaxonomy: state corrupt")
+
+func compareEq(err error) bool {
+	return err == ErrStateCorrupt // want "use errors.Is"
+}
+
+func compareNeq(err error) bool {
+	return ErrStateCorrupt != err // want "use errors.Is"
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrStateCorrupt) // the taxonomy-safe form
+}
+
+func escapePlain(n int) error {
+	return fmt.Errorf("errtaxonomy: %d segments unreadable", n) // want "fmt.Errorf without"
+}
+
+func wrapSentinel(n int) error {
+	return fmt.Errorf("%w: %d segments unreadable", ErrStateCorrupt, n)
+}
+
+func wrapUnderlying(err error) error {
+	return fmt.Errorf("errtaxonomy: replaying segment: %w", err)
+}
+
+func escapeNew() error {
+	return errors.New("errtaxonomy: unclassifiable") // want "errors.New on an open path"
+}
+
+func validateConfig(n int) error {
+	//lint:allow errtaxonomy config validation for the golden test; no on-disk state is being classified
+	return fmt.Errorf("errtaxonomy: %d shards unsupported", n)
+}

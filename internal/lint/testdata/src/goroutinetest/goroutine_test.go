@@ -1,0 +1,62 @@
+// Package goroutinetest is golden-test input for the test-goroutine
+// discipline rule. These tests are type-checked by the golden harness,
+// never executed.
+package goroutinetest
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFatalInGoroutine(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Fatal("boom") // want "t.Fatal inside a goroutine"
+	}()
+	wg.Wait()
+}
+
+func TestFatalfNested(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		func() {
+			t.Fatalf("nested %d", 1) // want "t.Fatalf inside a goroutine"
+		}()
+	}()
+	<-done
+}
+
+func TestAddWithoutWait(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want "Add()ed but never Wait()ed"
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func TestDisciplined(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t.Error("recorded, not fatal")
+	}()
+	wg.Wait()
+}
+
+func TestFatalOnTestGoroutine(t *testing.T) {
+	t.Fatal("fine here: this is the test goroutine")
+}
+
+func TestSuppressedFatal(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		//lint:allow goroutinetest golden test exercising the failure shape itself
+		t.Fatal("intentional")
+	}()
+	<-done
+}

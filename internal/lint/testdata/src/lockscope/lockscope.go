@@ -1,0 +1,86 @@
+// Package lockscope is golden-test input for the lock-discipline rule.
+package lockscope
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type table struct {
+	mu sync.RWMutex
+}
+
+func (t *table) readBlocking(path string) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return os.ReadFile(path) // want "os.ReadFile while holding read lock t.mu"
+}
+
+func (t *table) sleepUnder() {
+	t.mu.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding read lock"
+	t.mu.RUnlock()
+}
+
+func (t *table) syncUnder(f *os.File) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return f.Sync() // want "Sync() while holding read lock"
+}
+
+func (t *table) readAfterUnlock(path string) ([]byte, error) {
+	t.mu.RLock()
+	t.mu.RUnlock()
+	return os.ReadFile(path) // region closed: clean
+}
+
+// spawnReader's literal runs when the goroutine runs, not under the
+// region that spawned it — no finding.
+func (t *table) spawnReader(path string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	go func() {
+		_, _ = os.ReadFile(path)
+	}()
+}
+
+// literalOwnRegion holds its own RLock inside the literal, so the
+// blocking call is flagged there.
+func (t *table) literalOwnRegion(path string) func() {
+	return func() {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		_, _ = os.ReadFile(path) // want "os.ReadFile while holding read lock"
+	}
+}
+
+func (t *table) auditedRead(path string) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	//lint:allow lockscope golden-test cold path, never concurrent with a commit
+	return os.ReadFile(path)
+}
+
+type prover struct {
+	mu sync.RWMutex
+}
+
+func (l *prover) InclusionProof(i uint64) uint64 {
+	l.mu.Lock() // want "proof path InclusionProof acquires write lock l.mu.Lock()"
+	defer l.mu.Unlock()
+	return i
+}
+
+// RootAt reads under RLock — the sanctioned proof-path shape.
+func (l *prover) RootAt(n uint64) uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return n
+}
+
+// Lock on something other than the receiver is outside this rule.
+func (l *prover) ConsistencyProof(other *sync.Mutex) {
+	other.Lock()
+	defer other.Unlock()
+}

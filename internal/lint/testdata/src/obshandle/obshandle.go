@@ -1,0 +1,33 @@
+// Package obshandle is golden-test input for the telemetry-handle rule.
+package obshandle
+
+import "vnfguard/internal/obs"
+
+var reg = obs.NewRegistry()
+
+// Package-level resolution is the blessed pattern.
+var pkgCounter = reg.Counter("golden_pkg_events_total", "Resolved at package init.")
+
+type server struct {
+	hits *obs.Counter
+}
+
+// newServer resolves its handles at construction — allowed.
+func newServer() *server {
+	return &server{hits: reg.Counter("golden_server_hits_total", "Resolved in a constructor.")}
+}
+
+func (s *server) handle() {
+	_ = reg.Counter("golden_server_hits_total", "Hot-path lookup.") // want "outside package init or a constructor"
+}
+
+func drain(n int) {
+	for i := 0; i < n; i++ {
+		_ = reg.Gauge("golden_queue_depth", "Lookup inside a loop.") // want "inside a loop"
+	}
+}
+
+func memoised() *obs.Counter {
+	//lint:allow obshandle golden-test memoised resolver, called once at construction
+	return reg.Counter("golden_memoised_total", "Resolved through a memoising helper.")
+}

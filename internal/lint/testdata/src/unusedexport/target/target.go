@@ -1,0 +1,48 @@
+// Package target is golden-test input for the unusedexport sweep: the
+// user package next door consumes part of its surface.
+package target
+
+import "errors"
+
+// Used is referenced directly by the user package.
+func Used() int { return 1 }
+
+// NewThing is referenced by the user package; its result type is only
+// ever bound with :=, so the signature closure must keep Thing (and
+// everything reachable from it) off the findings list.
+func NewThing() *Thing { return &Thing{} }
+
+// Thing is reachable through NewThing's result.
+type Thing struct {
+	// Inner is reachable through Thing's exported field.
+	Inner Inner
+}
+
+// Inner is reachable through Thing.Inner.
+type Inner struct{}
+
+// Get is reachable as a method of a reachable type; its result closes
+// over Leaf.
+func (t *Thing) Get() Leaf { return Leaf{} }
+
+// Leaf is reachable through Thing.Get.
+type Leaf struct{}
+
+// Dead has no user anywhere.
+func Dead() {} // want "exported Dead is not used"
+
+// DeadConst has no user anywhere.
+const DeadConst = 2 // want "exported DeadConst is not used"
+
+// ErrDead is a sentinel nothing matches against.
+var ErrDead = errors.New("target: dead") // want "exported ErrDead is not used"
+
+// ErrJustified is equally unused, but carries a written justification.
+var ErrJustified = errors.New("target: justified") //lint:allow unusedexport deliberate API surface kept for the golden test
+
+// InPackageOnly is called below, but in-package use does not count.
+func InPackageOnly() {} // want "exported InPackageOnly is not used"
+
+func usedInternally() { InPackageOnly() }
+
+var _ = usedInternally

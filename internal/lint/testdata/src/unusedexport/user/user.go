@@ -1,0 +1,13 @@
+// Package user consumes part of target's surface, so the unusedexport
+// golden test sees genuine cross-package uses.
+package user
+
+import "vnfguard/internal/lint/testdata/src/unusedexport/target"
+
+// Consume names Used and NewThing — and never the Thing type itself,
+// which must survive the sweep through the signature closure.
+func Consume() int {
+	th := target.NewThing()
+	_ = th.Get()
+	return target.Used()
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unusedexport finds exported top-level identifiers in the audited
+// packages that no other package in the tree references. An export
+// nobody imports is API surface that must be kept compatible, reviewed
+// for invariants, and carried through refactors — for nothing. The
+// sweep targets internal/translog (the package every PR grows); each
+// finding is deleted, unexported, or carries a written //lint:allow.
+//
+// Methods, struct fields and interface members are out of scope:
+// their reachability flows through interfaces and embedding, which a
+// name-level sweep cannot judge safely. Uses inside the defining
+// package (its own tests included) do not count — an export only its
+// own tests touch should not be exported.
+
+// unusedExportTargets are the package-path suffixes the sweep audits.
+var unusedExportTargets = []string{"internal/translog"}
+
+// UnusedExport is the dead-export analyzer.
+var UnusedExport = &GlobalAnalyzer{
+	Name: "unusedexport",
+	Doc:  "exported identifiers in audited packages must be used by another package, or be unexported/deleted/justified",
+	Run:  runUnusedExport,
+}
+
+func runUnusedExport(units []*Unit, report func(Finding)) {
+	targets := map[string]*Unit{}
+	for _, u := range units {
+		for _, suffix := range unusedExportTargets {
+			if u.PkgPath == suffix || strings.HasSuffix(u.PkgPath, "/"+suffix) {
+				targets[u.Pkg.Path()] = u
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return
+	}
+
+	// Collect every cross-package use: objects used by a unit other
+	// than the one defining them, keyed by defining-package path + name.
+	// Units and the source importer hold distinct object copies of the
+	// same package, so identity is by (path, name), not pointer.
+	used := map[string]bool{}
+	for _, u := range units {
+		for _, obj := range u.Info.Uses {
+			if obj == nil || obj.Pkg() == nil {
+				continue
+			}
+			defPath := obj.Pkg().Path()
+			if defPath == u.Pkg.Path() || strings.TrimSuffix(u.PkgPath, "_test") == defPath {
+				continue
+			}
+			if _, isTarget := targets[defPath]; isTarget {
+				used[defPath+"."+obj.Name()] = true
+			}
+		}
+	}
+
+	// Close over signatures: a type that only ever reaches callers as a
+	// constructor result or a method argument is named by `:=`, never by
+	// an identifier Info.Uses would record. Anything reachable through
+	// the signature graph of a used export is used API, not dead API.
+	for path, u := range targets {
+		closeReachable(path, u.Pkg.Scope(), used)
+	}
+
+	for path, u := range targets {
+		for _, file := range u.Files {
+			if strings.HasSuffix(u.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				for _, id := range exportedTopLevelNames(decl) {
+					if !used[path+"."+id.Name] {
+						report(Finding{Pos: u.Fset.Position(id.Pos()),
+							Message: "exported " + id.Name + " is not used by any other package in the tree; unexport it, delete it, or justify keeping the API surface"})
+					}
+				}
+			}
+		}
+	}
+}
+
+// closeReachable marks as used every exported named type of the target
+// package reachable from an already-used export: through function
+// parameter and result types, through exported methods of reached
+// types, through exported struct fields and through interface method
+// sets. Sentinels and constants are not closed over — their static type
+// (error, string) carries no signature — so they stay subject to the
+// direct-use test.
+func closeReachable(path string, scope *types.Scope, used map[string]bool) {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Named:
+			obj := tt.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != path {
+				return // foreign type: not this sweep's surface
+			}
+			used[path+"."+obj.Name()] = true
+			for i := 0; i < tt.NumMethods(); i++ {
+				if m := tt.Method(i); m.Exported() {
+					walk(m.Type())
+				}
+			}
+			walk(tt.Underlying())
+		case *types.Pointer:
+			walk(tt.Elem())
+		case *types.Slice:
+			walk(tt.Elem())
+		case *types.Array:
+			walk(tt.Elem())
+		case *types.Map:
+			walk(tt.Key())
+			walk(tt.Elem())
+		case *types.Chan:
+			walk(tt.Elem())
+		case *types.Signature:
+			walk(tt.Params())
+			walk(tt.Results())
+		case *types.Tuple:
+			for i := 0; i < tt.Len(); i++ {
+				walk(tt.At(i).Type())
+			}
+		case *types.Struct:
+			for i := 0; i < tt.NumFields(); i++ {
+				if f := tt.Field(i); f.Exported() {
+					walk(f.Type())
+				}
+			}
+		case *types.Interface:
+			for i := 0; i < tt.NumExplicitMethods(); i++ {
+				if m := tt.ExplicitMethod(i); m.Exported() {
+					walk(m.Type())
+				}
+			}
+			for i := 0; i < tt.NumEmbeddeds(); i++ {
+				walk(tt.EmbeddedType(i))
+			}
+		}
+	}
+	for _, name := range scope.Names() {
+		if used[path+"."+name] {
+			if obj := scope.Lookup(name); obj != nil {
+				walk(obj.Type())
+			}
+		}
+	}
+}
+
+// exportedTopLevelNames returns the exported identifiers a top-level
+// declaration introduces (functions without receivers, and const, var
+// and type specs).
+func exportedTopLevelNames(decl ast.Decl) []*ast.Ident {
+	var out []*ast.Ident
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv == nil && d.Name.IsExported() {
+			out = append(out, d.Name)
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+			return nil
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, s.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -82,6 +82,7 @@ func WriteBenchJSON(dir string, a BenchArtifact) error {
 		return fmt.Errorf("metrics: encoding bench artifact: %w", err)
 	}
 	path := filepath.Join(dir, "BENCH_"+a.Name+".json")
+	//lint:allow atomicwrite bench artifact consumed by the report tooling in the same run; not durable state
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("metrics: writing bench artifact: %w", err)
 	}

@@ -3,6 +3,7 @@ package secchan
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -48,7 +49,7 @@ func TestCodecSealOpenRoundTrip(t *testing.T) {
 
 func TestCodecOversizeRejected(t *testing.T) {
 	a, _ := newCodecPair(t)
-	if _, err := a.Seal(TypeProvision, make([]byte, MaxRecordSize+1)); err != ErrRecordTooLarge {
+	if _, err := a.Seal(TypeProvision, make([]byte, MaxRecordSize+1)); !errors.Is(err, ErrRecordTooLarge) {
 		t.Fatalf("oversize seal: %v", err)
 	}
 }
@@ -63,7 +64,7 @@ func TestCodecOpenTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for n := 0; n < len(frame); n++ {
-		if _, _, err := b.Open(frame[:n]); err != ErrAuth {
+		if _, _, err := b.Open(frame[:n]); !errors.Is(err, ErrAuth) {
 			t.Fatalf("prefix %d/%d: %v", n, len(frame), err)
 		}
 	}
@@ -113,7 +114,7 @@ func TestCodecOpenMalformed(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, _, err := b.Open(tc.mod(frame)); err != ErrAuth {
+			if _, _, err := b.Open(tc.mod(frame)); !errors.Is(err, ErrAuth) {
 				t.Fatalf("corrupted frame accepted: %v", err)
 			}
 		})
@@ -147,14 +148,14 @@ func TestCodecSequenceBinding(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Out of order: frame 2 under receive sequence 0 fails.
-	if _, _, err := b.Open(f2); err != ErrAuth {
+	if _, _, err := b.Open(f2); !errors.Is(err, ErrAuth) {
 		t.Fatalf("reordered frame accepted: %v", err)
 	}
 	if _, _, err := b.Open(f1); err != nil {
 		t.Fatal(err)
 	}
 	// Replay of frame 1 under receive sequence 1 fails.
-	if _, _, err := b.Open(f1); err != ErrAuth {
+	if _, _, err := b.Open(f1); !errors.Is(err, ErrAuth) {
 		t.Fatalf("replayed frame accepted: %v", err)
 	}
 	if _, _, err := b.Open(f2); err != nil {

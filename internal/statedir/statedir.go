@@ -34,15 +34,47 @@ func (d *Dir) Path(name string) string { return filepath.Join(d.path, name) }
 
 // Write atomically writes an entry: readers see either the old contents
 // or the new, never a partial file, and a failed replacement leaves no
-// stray temp file behind.
+// stray temp file behind. The temp file is fsynced before the rename and
+// the directory after it, so the replacement survives a crash — entries
+// hold key material and trust-anchor heads, where a lost-after-rename
+// file reads as a rollback.
 func (d *Dir) Write(name string, data []byte) error {
 	tmp := d.Path(name + ".tmp")
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
 		return fmt.Errorf("statedir: writing %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("statedir: writing %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("statedir: syncing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("statedir: closing %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, d.Path(name)); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("statedir: replacing %s: %w", name, err)
+	}
+	return d.syncDir()
+}
+
+// syncDir flushes the directory so a just-renamed entry's name survives
+// a crash.
+func (d *Dir) syncDir() error {
+	dir, err := os.Open(d.path)
+	if err != nil {
+		return fmt.Errorf("statedir: syncing dir: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("statedir: syncing dir: %w", err)
 	}
 	return nil
 }

@@ -68,13 +68,13 @@ type TrustAnchor interface {
 
 // ---- plain statedir STH anchor --------------------------------------------
 
-// STHAnchor is the baseline anchor every durable store runs: the latest
+// sthAnchor is the baseline anchor every durable store runs: the latest
 // signed tree head, atomically persisted as sth.json in the store
 // directory. It catches crashes, torn writes and any rewind that
 // disagrees with the persisted head — but not a consistent rewind of
 // segments and head together, which is what the witness and sealed
 // anchors exist for.
-type STHAnchor struct {
+type sthAnchor struct {
 	dir    string
 	pub    *ecdsa.PublicKey
 	noSync bool
@@ -84,18 +84,18 @@ type STHAnchor struct {
 	have bool
 }
 
-// NewSTHAnchor returns the plain persisted-head anchor for a store
+// newSTHAnchor returns the plain persisted-head anchor for a store
 // directory, verifying heads against the log public key.
-func NewSTHAnchor(dir string, pub *ecdsa.PublicKey) *STHAnchor {
-	return &STHAnchor{dir: dir, pub: pub}
+func newSTHAnchor(dir string, pub *ecdsa.PublicKey) *sthAnchor {
+	return &sthAnchor{dir: dir, pub: pub}
 }
 
 // Name implements TrustAnchor.
-func (a *STHAnchor) Name() string { return "statedir-sth" }
+func (a *sthAnchor) Name() string { return "statedir-sth" }
 
 // CheckRecovery verifies the persisted head's signature and that the
 // recovered state covers (and hashes to) exactly what it signed.
-func (a *STHAnchor) CheckRecovery(state *RecoveredState) error {
+func (a *sthAnchor) CheckRecovery(state *RecoveredState) error {
 	sth, have, err := loadSTH(a.dir)
 	if err != nil {
 		return err
@@ -143,7 +143,7 @@ func (a *STHAnchor) CheckRecovery(state *RecoveredState) error {
 }
 
 // CommitHead atomically replaces the persisted head file.
-func (a *STHAnchor) CommitHead(sth SignedTreeHead) error {
+func (a *sthAnchor) CommitHead(sth SignedTreeHead) error {
 	if err := persistSTHFile(a.dir, sth, a.noSync); err != nil {
 		return err
 	}
@@ -156,7 +156,7 @@ func (a *STHAnchor) CommitHead(sth SignedTreeHead) error {
 // Persisted returns the head loaded by CheckRecovery (or recorded by
 // the latest CommitHead) and whether one exists — the store's
 // resumption point.
-func (a *STHAnchor) Persisted() (SignedTreeHead, bool) {
+func (a *sthAnchor) Persisted() (SignedTreeHead, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.sth, a.have
@@ -186,7 +186,7 @@ type WitnessAnchor struct {
 // opened later with the same dir and name (OpenWitnessState) restores
 // exactly the head this anchor recorded.
 func NewWitnessAnchor(dir *statedir.Dir, name string, pub *ecdsa.PublicKey) *WitnessAnchor {
-	return &WitnessAnchor{dir: dir, entry: WitnessHeadFile(name), pub: pub}
+	return &WitnessAnchor{dir: dir, entry: witnessHeadFile(name), pub: pub}
 }
 
 // Name implements TrustAnchor.

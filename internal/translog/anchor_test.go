@@ -49,7 +49,7 @@ func TestAnchorConformance(t *testing.T) {
 		mk   func(t *testing.T, pub *ecdsa.PublicKey) TrustAnchor
 	}{
 		{"statedir-sth", func(t *testing.T, pub *ecdsa.PublicKey) TrustAnchor {
-			return NewSTHAnchor(t.TempDir(), pub)
+			return newSTHAnchor(t.TempDir(), pub)
 		}},
 		{"witness-head", func(t *testing.T, pub *ecdsa.PublicKey) TrustAnchor {
 			return NewWitnessAnchor(testStatedir(t), "anchor", pub)

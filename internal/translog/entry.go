@@ -57,8 +57,8 @@ func (t EntryType) String() string {
 
 // Errors.
 var (
-	ErrMalformedEntry = errors.New("translog: malformed entry encoding")
-	ErrUnknownType    = errors.New("translog: unknown entry type")
+	ErrMalformedEntry = errors.New("translog: malformed entry encoding") //lint:allow unusedexport wire-decode error contract: surfaced wrapped through exported read paths, matched by callers with errors.Is
+	ErrUnknownType    = errors.New("translog: unknown entry type")       //lint:allow unusedexport wire-decode error contract: surfaced wrapped through exported read paths, matched by callers with errors.Is
 )
 
 // Entry is one auditable event. Fields not meaningful for a given type are
@@ -115,9 +115,9 @@ func (e Entry) appendTo(out []byte) []byte {
 	return out
 }
 
-// UnmarshalEntry parses a canonical encoding, rejecting truncated input,
+// unmarshalEntry parses a canonical encoding, rejecting truncated input,
 // trailing bytes and unknown types.
-func UnmarshalEntry(b []byte) (Entry, error) {
+func unmarshalEntry(b []byte) (Entry, error) {
 	var e Entry
 	if len(b) < 10 {
 		return e, ErrMalformedEntry

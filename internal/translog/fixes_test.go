@@ -33,7 +33,7 @@ func jsonMarshalWireBatch(batch []Entry) ([]byte, error) {
 
 // TestClientTimeoutAgainstHangingServer: a stalled log server must not
 // hang the witness/monitor forever — the default client times out, and
-// ClientConfig can tighten the bound.
+// clientConfig can tighten the bound.
 func TestClientTimeoutAgainstHangingServer(t *testing.T) {
 	release := make(chan struct{})
 	var once sync.Once
@@ -45,7 +45,7 @@ func TestClientTimeoutAgainstHangingServer(t *testing.T) {
 		srv.Close()
 	})
 
-	c := NewClientWithConfig(srv.URL, nil, ClientConfig{Timeout: 150 * time.Millisecond})
+	c := newClientWithConfig(srv.URL, nil, clientConfig{Timeout: 150 * time.Millisecond})
 	start := time.Now()
 	_, err := c.STH()
 	if err == nil {
@@ -63,13 +63,13 @@ func TestClientTimeoutAgainstHangingServer(t *testing.T) {
 
 	// The convenience constructor carries the safety default; zero config
 	// means the default, and a negative timeout opts out explicitly.
-	if got := NewClient(srv.URL, nil).http.Timeout; got != DefaultClientTimeout {
-		t.Fatalf("NewClient timeout %v, want %v", got, DefaultClientTimeout)
+	if got := NewClient(srv.URL, nil).http.Timeout; got != defaultClientTimeout {
+		t.Fatalf("NewClient timeout %v, want %v", got, defaultClientTimeout)
 	}
-	if got := NewClientWithConfig(srv.URL, nil, ClientConfig{}).http.Timeout; got != DefaultClientTimeout {
-		t.Fatalf("zero-config timeout %v, want %v", got, DefaultClientTimeout)
+	if got := newClientWithConfig(srv.URL, nil, clientConfig{}).http.Timeout; got != defaultClientTimeout {
+		t.Fatalf("zero-config timeout %v, want %v", got, defaultClientTimeout)
 	}
-	if got := NewClientWithConfig(srv.URL, nil, ClientConfig{Timeout: -1}).http.Timeout; got != 0 {
+	if got := newClientWithConfig(srv.URL, nil, clientConfig{Timeout: -1}).http.Timeout; got != 0 {
 		t.Fatalf("negative timeout gave %v, want unbounded", got)
 	}
 }
@@ -267,7 +267,7 @@ func TestAppendEndpointStatusCodes(t *testing.T) {
 
 	post := func(body []byte) int {
 		t.Helper()
-		resp, err := http.Post(srv.URL+PathAppend, "application/json", bytesReader(body))
+		resp, err := http.Post(srv.URL+pathAppend, "application/json", bytesReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}

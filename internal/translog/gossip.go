@@ -22,9 +22,9 @@ import (
 	"vnfguard/internal/statedir"
 )
 
-// WitnessHeadFile returns the statedir entry name under which witness
+// witnessHeadFile returns the statedir entry name under which witness
 // name persists its last-accepted signed tree head.
-func WitnessHeadFile(name string) string { return "witness-" + name + "-head.json" }
+func witnessHeadFile(name string) string { return "witness-" + name + "-head.json" }
 
 // OpenWitnessState returns a witness whose last-accepted head is durably
 // persisted in dir (statedir.Dir.Write is atomic, so readers never see a
@@ -34,7 +34,7 @@ func WitnessHeadFile(name string) string { return "witness-" + name + "-head.jso
 // amnesia a local rollback attack needs.
 func OpenWitnessState(dir *statedir.Dir, name string, pub *ecdsa.PublicKey) (*Witness, error) {
 	w := NewWitness(pub)
-	entry := WitnessHeadFile(name)
+	entry := witnessHeadFile(name)
 	data, err := dir.Read(entry)
 	switch {
 	case err == nil:
@@ -258,16 +258,11 @@ func (g *GossipPool) Exchange() error {
 // math/rand source.
 type JitterSource func() float64
 
-// Jitter returns d scaled by a uniform factor in [0.8, 1.2), so a fleet
-// of witnesses started together does not synchronise its gossip rounds
-// into thundering herds against the log and each other.
-func Jitter(d time.Duration) time.Duration {
-	return JitterFrom(d, nil)
-}
-
-// JitterFrom is Jitter with an explicit sample source (nil for the
-// global math/rand source).
-func JitterFrom(d time.Duration, src JitterSource) time.Duration {
+// jitterFrom returns d scaled by a uniform factor in [0.8, 1.2), so a
+// fleet of witnesses started together does not synchronise its gossip
+// rounds into thundering herds against the log and each other. src is
+// the sample source (nil for the global math/rand source).
+func jitterFrom(d time.Duration, src JitterSource) time.Duration {
 	if src == nil {
 		src = rand.Float64
 	}
@@ -299,7 +294,7 @@ func (g *GossipPool) Loop(interval time.Duration, stop <-chan struct{}, report f
 		if report != nil {
 			report(err)
 		}
-		t := time.NewTimer(JitterFrom(interval, g.jitterSource()))
+		t := time.NewTimer(jitterFrom(interval, g.jitterSource()))
 		select {
 		case <-stop:
 			t.Stop()

@@ -335,7 +335,7 @@ func TestWitnessStatePersistsAcrossRestart(t *testing.T) {
 	}
 
 	// A tampered persisted head must not restore.
-	if err := dir.Write(WitnessHeadFile("w0"), []byte(`{"size":99,"root_hash":"AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA=","timestamp":1,"signature":"AA=="}`)); err != nil {
+	if err := dir.Write(witnessHeadFile("w0"), []byte(`{"size":99,"root_hash":"AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA=","timestamp":1,"signature":"AA=="}`)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenWitnessState(dir, "w0", &key.PublicKey); err == nil {
@@ -367,7 +367,7 @@ func TestGossipRejectsJunkHeads(t *testing.T) {
 
 	post := func(body []byte) *http.Response {
 		t.Helper()
-		resp, err := http.Post(gossipURL+PathGossip, "application/json", bytes.NewReader(body))
+		resp, err := http.Post(gossipURL+pathGossip, "application/json", bytes.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -566,7 +566,7 @@ func TestWitnessMergeLaggingPeer(t *testing.T) {
 func TestJitterBounds(t *testing.T) {
 	d := time.Second
 	for i := 0; i < 1000; i++ {
-		j := Jitter(d)
+		j := jitterFrom(d, nil)
 		if j < 800*time.Millisecond || j >= 1200*time.Millisecond {
 			t.Fatalf("jitter %v outside [0.8s, 1.2s)", j)
 		}
@@ -586,13 +586,13 @@ func TestJitterFromDeterministic(t *testing.T) {
 		{0.5, time.Second},
 		{0.999999, 1199999 * time.Microsecond},
 	} {
-		got := JitterFrom(d, func() float64 { return tc.sample })
+		got := jitterFrom(d, func() float64 { return tc.sample })
 		if delta := got - tc.want; delta < -time.Microsecond || delta > time.Microsecond {
-			t.Fatalf("JitterFrom(%v, %v) = %v, want %v", d, tc.sample, got, tc.want)
+			t.Fatalf("jitterFrom(%v, %v) = %v, want %v", d, tc.sample, got, tc.want)
 		}
 	}
 	// nil source falls back to the global one, inside the window.
-	if j := JitterFrom(d, nil); j < 800*time.Millisecond || j >= 1200*time.Millisecond {
+	if j := jitterFrom(d, nil); j < 800*time.Millisecond || j >= 1200*time.Millisecond {
 		t.Fatalf("nil-source jitter %v outside window", j)
 	}
 }

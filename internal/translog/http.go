@@ -17,13 +17,13 @@ import (
 
 // Log-server REST paths (CT-inspired, JSON bodies).
 const (
-	PathSTH         = "/translog/v1/sth"
-	PathEntries     = "/translog/v1/entries"
-	PathInclusion   = "/translog/v1/inclusion"
-	PathConsistency = "/translog/v1/consistency"
-	PathLookup      = "/translog/v1/lookup"
-	PathAppend      = "/translog/v1/append"
-	PathGossip      = "/translog/v1/gossip"
+	pathSTH         = "/translog/v1/sth"
+	pathEntries     = "/translog/v1/entries"
+	pathInclusion   = "/translog/v1/inclusion"
+	pathConsistency = "/translog/v1/consistency"
+	pathLookup      = "/translog/v1/lookup"
+	pathAppend      = "/translog/v1/append"
+	pathGossip      = "/translog/v1/gossip"
 )
 
 // Client-side protocol errors.
@@ -77,10 +77,10 @@ func (h *Hash) UnmarshalJSON(b []byte) error {
 // management network (the proofs, not the transport, carry the trust).
 func Handler(l *Log) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET "+PathSTH, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+pathSTH, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, l.STH())
 	})
-	mux.HandleFunc("GET "+PathEntries, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+pathEntries, func(w http.ResponseWriter, r *http.Request) {
 		start, err1 := queryUint(r, "start")
 		count, err2 := queryUint(r, "count")
 		if err1 != nil || err2 != nil {
@@ -94,7 +94,7 @@ func Handler(l *Log) http.Handler {
 		}
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET "+PathInclusion, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+pathInclusion, func(w http.ResponseWriter, r *http.Request) {
 		index, err1 := queryUint(r, "index")
 		size, err2 := queryUint(r, "size")
 		if err1 != nil || err2 != nil {
@@ -108,7 +108,7 @@ func Handler(l *Log) http.Handler {
 		}
 		writeJSON(w, wireProof{Proof: proof})
 	})
-	mux.HandleFunc("GET "+PathConsistency, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+pathConsistency, func(w http.ResponseWriter, r *http.Request) {
 		first, err1 := queryUint(r, "first")
 		second, err2 := queryUint(r, "second")
 		if err1 != nil || err2 != nil {
@@ -122,7 +122,7 @@ func Handler(l *Log) http.Handler {
 		}
 		writeJSON(w, wireProof{Proof: proof})
 	})
-	mux.HandleFunc("GET "+PathLookup, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+pathLookup, func(w http.ResponseWriter, r *http.Request) {
 		serial := r.URL.Query().Get("serial")
 		if serial == "" {
 			http.Error(w, "missing serial", http.StatusBadRequest)
@@ -142,7 +142,7 @@ func Handler(l *Log) http.Handler {
 		}
 		writeJSON(w, wireBundle{Index: pb.Index, Entry: pb.Entry.Marshal(), Proof: pb.Proof, STH: pb.STH})
 	})
-	mux.HandleFunc("POST "+PathAppend, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST "+pathAppend, func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
 		if err != nil {
 			http.Error(w, "read error", http.StatusBadRequest)
@@ -155,7 +155,7 @@ func Handler(l *Log) http.Handler {
 		}
 		batch := make([]Entry, len(in))
 		for i, we := range in {
-			e, err := UnmarshalEntry(we.Canonical)
+			e, err := unmarshalEntry(we.Canonical)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
@@ -219,11 +219,11 @@ func (wc wireConflict) toError() *ConflictError {
 // witness state.
 func GossipHandler(p *GossipPool) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET "+PathGossip, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+pathGossip, func(w http.ResponseWriter, r *http.Request) {
 		last, seen := p.Witness().Last()
 		writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
 	})
-	mux.HandleFunc("POST "+PathGossip, func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST "+pathGossip, func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
 			http.Error(w, "read error", http.StatusBadRequest)
@@ -275,15 +275,15 @@ type Client struct {
 	http *http.Client
 }
 
-// DefaultClientTimeout bounds every log-server and gossip HTTP call. A
+// defaultClientTimeout bounds every log-server and gossip HTTP call. A
 // witness or monitor must never hang forever on a stalled server — a log
 // that stops answering is a finding, not a reason to stop auditing.
-const DefaultClientTimeout = 10 * time.Second
+const defaultClientTimeout = 10 * time.Second
 
-// ClientConfig tunes the log client.
-type ClientConfig struct {
+// clientConfig tunes the log client.
+type clientConfig struct {
 	// Timeout bounds each HTTP request end to end (default
-	// DefaultClientTimeout; negative disables the bound entirely).
+	// defaultClientTimeout; negative disables the bound entirely).
 	Timeout time.Duration
 	// Transport overrides the HTTP transport (nil: net/http default).
 	Transport http.RoundTripper
@@ -292,14 +292,14 @@ type ClientConfig struct {
 // NewClient builds a log client with the default request timeout; pub may
 // be nil to skip STH verification (trusted-channel setups).
 func NewClient(baseURL string, pub *ecdsa.PublicKey) *Client {
-	return NewClientWithConfig(baseURL, pub, ClientConfig{})
+	return newClientWithConfig(baseURL, pub, clientConfig{})
 }
 
-// NewClientWithConfig builds a log client with explicit tuning.
-func NewClientWithConfig(baseURL string, pub *ecdsa.PublicKey, cfg ClientConfig) *Client {
+// newClientWithConfig builds a log client with explicit tuning.
+func newClientWithConfig(baseURL string, pub *ecdsa.PublicKey, cfg clientConfig) *Client {
 	timeout := cfg.Timeout
 	if timeout == 0 {
-		timeout = DefaultClientTimeout
+		timeout = defaultClientTimeout
 	}
 	if timeout < 0 {
 		timeout = 0
@@ -333,7 +333,7 @@ func (c *Client) get(path string, out any) error {
 // STH fetches and (when a key is held) verifies the latest tree head.
 func (c *Client) STH() (SignedTreeHead, error) {
 	var sth SignedTreeHead
-	if err := c.get(PathSTH, &sth); err != nil {
+	if err := c.get(pathSTH, &sth); err != nil {
 		return sth, err
 	}
 	if c.pub != nil {
@@ -347,12 +347,12 @@ func (c *Client) STH() (SignedTreeHead, error) {
 // Entries fetches committed entries in [start, start+count).
 func (c *Client) Entries(start, count uint64) ([]Entry, error) {
 	var wire []wireEntry
-	if err := c.get(fmt.Sprintf("%s?start=%d&count=%d", PathEntries, start, count), &wire); err != nil {
+	if err := c.get(fmt.Sprintf("%s?start=%d&count=%d", pathEntries, start, count), &wire); err != nil {
 		return nil, err
 	}
 	out := make([]Entry, len(wire))
 	for i, we := range wire {
-		e, err := UnmarshalEntry(we.Canonical)
+		e, err := unmarshalEntry(we.Canonical)
 		if err != nil {
 			return nil, err
 		}
@@ -364,7 +364,7 @@ func (c *Client) Entries(start, count uint64) ([]Entry, error) {
 // InclusionProof fetches the audit path for index at size.
 func (c *Client) InclusionProof(index, size uint64) ([]Hash, error) {
 	var wire wireProof
-	if err := c.get(fmt.Sprintf("%s?index=%d&size=%d", PathInclusion, index, size), &wire); err != nil {
+	if err := c.get(fmt.Sprintf("%s?index=%d&size=%d", pathInclusion, index, size), &wire); err != nil {
 		return nil, err
 	}
 	return wire.Proof, nil
@@ -374,7 +374,7 @@ func (c *Client) InclusionProof(index, size uint64) ([]Hash, error) {
 // second.
 func (c *Client) ConsistencyProof(first, second uint64) ([]Hash, error) {
 	var wire wireProof
-	if err := c.get(fmt.Sprintf("%s?first=%d&second=%d", PathConsistency, first, second), &wire); err != nil {
+	if err := c.get(fmt.Sprintf("%s?first=%d&second=%d", pathConsistency, first, second), &wire); err != nil {
 		return nil, err
 	}
 	return wire.Proof, nil
@@ -383,7 +383,7 @@ func (c *Client) ConsistencyProof(first, second uint64) ([]Hash, error) {
 // ProveSerial fetches and cryptographically verifies a credential proof
 // bundle (the remote controller-side counterpart of Log.ProveSerial).
 func (c *Client) ProveSerial(serial string) (*ProofBundle, error) {
-	resp, err := c.http.Get(c.base + PathLookup + "?serial=" + url.QueryEscape(serial))
+	resp, err := c.http.Get(c.base + pathLookup + "?serial=" + url.QueryEscape(serial))
 	if err != nil {
 		return nil, fmt.Errorf("translog client: lookup: %w", err)
 	}
@@ -405,7 +405,7 @@ func (c *Client) ProveSerial(serial string) (*ProofBundle, error) {
 	if err := json.Unmarshal(data, &wire); err != nil {
 		return nil, err
 	}
-	entry, err := UnmarshalEntry(wire.Entry)
+	entry, err := unmarshalEntry(wire.Entry)
 	if err != nil {
 		return nil, err
 	}
@@ -437,7 +437,7 @@ func (c *Client) AppendSTH(batch []Entry) (SignedTreeHead, error) {
 	if err != nil {
 		return SignedTreeHead{}, err
 	}
-	resp, err := c.http.Post(c.base+PathAppend, "application/json", bytes.NewReader(body))
+	resp, err := c.http.Post(c.base+pathAppend, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return SignedTreeHead{}, fmt.Errorf("translog client: append: %w", err)
 	}
@@ -483,7 +483,7 @@ func (c *Client) ExchangeGossip(name string, head SignedTreeHead, seen bool) (Si
 	if err != nil {
 		return SignedTreeHead{}, false, err
 	}
-	resp, err := c.http.Post(c.base+PathGossip, "application/json", bytes.NewReader(body))
+	resp, err := c.http.Post(c.base+pathGossip, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: %w", err)
 	}
@@ -530,7 +530,7 @@ func (c *Client) ExchangeGossip(name string, head SignedTreeHead, seen bool) (Si
 // ours.
 func (c *Client) GossipHead() (SignedTreeHead, bool, error) {
 	var out wireGossip
-	if err := c.get(PathGossip, &out); err != nil {
+	if err := c.get(pathGossip, &out); err != nil {
 		return SignedTreeHead{}, false, err
 	}
 	if out.Seen && c.pub != nil {

@@ -17,11 +17,11 @@ import (
 
 // Errors.
 var (
-	ErrNotLogged  = errors.New("translog: no log entry for credential")
-	ErrBadSTH     = errors.New("translog: tree head signature invalid")
+	ErrNotLogged  = errors.New("translog: no log entry for credential") //lint:allow unusedexport lookup error contract of exported Log methods; errors.Is target
+	ErrBadSTH     = errors.New("translog: tree head signature invalid") //lint:allow unusedexport verification error contract of exported Log/Client methods; errors.Is target
 	ErrLogRevoked = errors.New("translog: credential revoked in log")
-	ErrIndexRange = errors.New("translog: entry index out of range")
-	ErrClosedLog  = errors.New("translog: appender closed")
+	ErrIndexRange = errors.New("translog: entry index out of range") //lint:allow unusedexport proof-request error contract of exported Log methods; errors.Is target
+	ErrClosedLog  = errors.New("translog: appender closed")          //lint:allow unusedexport append error contract of exported Appender methods; errors.Is target
 )
 
 // SignedTreeHead is the log's signed commitment to its state at one size:
@@ -82,7 +82,7 @@ func (a *entryArena) payload(i uint64) []byte {
 // Entry.Marshal or validated by recovery, so a decode failure is a
 // programming error, not a runtime condition.
 func (a *entryArena) at(i uint64) Entry {
-	e, err := UnmarshalEntry(a.payload(i))
+	e, err := unmarshalEntry(a.payload(i))
 	if err != nil {
 		panic("translog: stored entry undecodable: " + err.Error())
 	}

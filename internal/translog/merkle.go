@@ -19,7 +19,7 @@ const (
 )
 
 // LeafHash hashes one canonical-encoded entry into its leaf.
-func LeafHash(data []byte) Hash {
+func LeafHash(data []byte) Hash { //lint:allow unusedexport client-side proof API: external auditors leaf-hash entries to call VerifyInclusion
 	buf := make([]byte, 1+len(data))
 	buf[0] = leafPrefix
 	copy(buf[1:], data)
@@ -432,12 +432,12 @@ func (t *tree) subproof(m, lo, hi uint64, complete bool) ([]Hash, error) {
 
 // ErrProofInvalid reports a proof that does not connect the claimed data
 // to the claimed root.
-var ErrProofInvalid = errors.New("translog: proof does not verify")
+var ErrProofInvalid = errors.New("translog: proof does not verify") //lint:allow unusedexport error contract of VerifyConsistency (used by the verifier) and VerifyInclusion
 
 // VerifyInclusion checks that leaf (already leaf-hashed) is the entry at
 // index in the tree of the given size with the given root (RFC 9162
 // §2.1.3.2).
-func VerifyInclusion(leaf Hash, index, size uint64, proof []Hash, root Hash) error {
+func VerifyInclusion(leaf Hash, index, size uint64, proof []Hash, root Hash) error { //lint:allow unusedexport client-side proof API paired with VerifyConsistency, which the verifier uses; README documents both
 	if index >= size {
 		return ErrProofInvalid
 	}

@@ -15,7 +15,7 @@ import (
 // Recovery: opening a durable log replays every segment, truncates a torn
 // tail record, rebuilds the Merkle tree and serial index, and then hands
 // the recovered state to the trust-anchor chain (anchor.go) for
-// verification. The built-in STHAnchor checks the recomputed root
+// verification. The built-in sthAnchor checks the recomputed root
 // against the durably persisted signed tree head — the local anchor of
 // the same guarantee the witness provides remotely — and any configured
 // extra anchors (witness head, enclave-sealed counter) check their own
@@ -135,9 +135,10 @@ func applyTrims(dir string, trims []trimOp, noSync bool) error {
 // recoverDir replays the store directory — whichever layout it holds —
 // and verifies it against the trust-anchor chain (the built-in sthAnchor
 // first, then any extras).
-func recoverDir(dir string, cfg StoreConfig, sthAnchor *STHAnchor, extra []TrustAnchor) (*recovered, error) {
+func recoverDir(dir string, cfg StoreConfig, sthAnchor *sthAnchor, extra []TrustAnchor) (*recovered, error) {
 	recoverStart := time.Now()
 	if cfg.Shards > maxShardSlots {
+		//lint:allow errtaxonomy config validation rejecting the open request, not a classification of on-disk state
 		return nil, fmt.Errorf("translog: %d shards exceeds the %d-slot segment naming limit", cfg.Shards, maxShardSlots)
 	}
 	firsts, shardFirsts, err := listAllSegments(dir)
@@ -313,7 +314,7 @@ func recoverSingle(dir string, firsts []uint64, ckpt *checkpoint) (*recovered, [
 				ordinal++ // cold record, summarized by the checkpoint
 				continue
 			}
-			e, err := UnmarshalEntry(p)
+			e, err := unmarshalEntry(p)
 			if err != nil {
 				return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, ordinal, err)
 			}
@@ -419,7 +420,7 @@ func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64, ckpt 
 				}
 				prevIndex, haveRecord = index, true
 				if index >= base {
-					e, uerr := UnmarshalEntry(body)
+					e, uerr := unmarshalEntry(body)
 					if uerr != nil {
 						return nil, nil, 0, fmt.Errorf("%w: entry %d undecodable: %v", ErrStateCorrupt, index, uerr)
 					}
@@ -526,6 +527,7 @@ func recoverSharded(dir string, nShards int, shardFirsts map[int][]uint64, ckpt 
 func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, error) {
 	pub, ok := signer.Public().(*ecdsa.PublicKey)
 	if !ok {
+		//lint:allow errtaxonomy caller-argument validation before any disk state is read; no taxonomy applies
 		return nil, fmt.Errorf("translog: signer key type %T unsupported for durable log", signer.Public())
 	}
 	if err := os.MkdirAll(dir, 0o700); err != nil {
@@ -542,7 +544,7 @@ func OpenDurableLog(signer crypto.Signer, dir string, cfg StoreConfig) (*Log, er
 			}
 		}
 	}
-	sthAnchor := NewSTHAnchor(dir, pub)
+	sthAnchor := newSTHAnchor(dir, pub)
 	sthAnchor.noSync = cfg.NoSync
 	rec, err := recoverDir(dir, cfg, sthAnchor, cfg.Anchors)
 	if err != nil {

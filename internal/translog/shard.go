@@ -24,9 +24,9 @@ import (
 // log lock, every cycle commits through Log.appendPrepared exactly like
 // an ordinary batch, and the TrustAnchor chain sees one head per cycle.
 
-// DefaultShards is the shard count used when neither the config nor the
+// defaultShards is the shard count used when neither the config nor the
 // log's store names one.
-const DefaultShards = 16
+const defaultShards = 16
 
 // ShardOf maps a host identity to its shard slot in [0, shards). The
 // Verification Manager maps each enrolled host through this same
@@ -62,7 +62,7 @@ var (
 type ShardedAppenderConfig struct {
 	// Shards is the number of per-host buffers. Defaults to the log
 	// store's shard count when the log is sharded-durable, else
-	// DefaultShards.
+	// defaultShards.
 	Shards int
 	// MaxBatch caps how many entries one shard contributes to one
 	// sequencer cycle (default 1024) — so one chatty host cannot starve
@@ -142,7 +142,7 @@ type ShardedAppender struct {
 func NewShardedAppender(log *Log, cfg ShardedAppenderConfig) *ShardedAppender {
 	shards := cfg.Shards
 	if shards <= 0 {
-		shards = DefaultShards
+		shards = defaultShards
 		if log.store != nil && log.store.shardCount() > 1 {
 			shards = log.store.shardCount()
 		}

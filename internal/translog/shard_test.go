@@ -472,7 +472,7 @@ func TestShardedTamperDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim, err := UnmarshalEntry(body)
+	victim, err := unmarshalEntry(body)
 	if err != nil {
 		t.Fatal(err)
 	}

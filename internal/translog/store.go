@@ -25,14 +25,14 @@ import (
 var (
 	// ErrStateCorrupt reports a damaged record: a checksum mismatch or an
 	// impossible frame somewhere other than a cleanly torn tail.
-	ErrStateCorrupt = errors.New("translog: on-disk log state corrupt")
+	ErrStateCorrupt = errors.New("translog: on-disk log state corrupt") //lint:allow unusedexport README-documented recovery taxonomy; reaches callers wrapped in open errors
 	// ErrStateRollback reports fewer durable entries than the persisted
 	// signed tree head covers — committed history was deleted.
 	ErrStateRollback = errors.New("translog: on-disk log state rolled back")
 	// ErrStateTampered reports durable entries whose recomputed Merkle
 	// root contradicts the persisted signed tree head — history was
 	// rewritten in place.
-	ErrStateTampered = errors.New("translog: on-disk log state tampered")
+	ErrStateTampered = errors.New("translog: on-disk log state tampered") //lint:allow unusedexport README-documented recovery taxonomy; reaches callers wrapped in open errors
 )
 
 // Append-path errors the HTTP layer maps to status codes, so a producer
@@ -42,10 +42,10 @@ var (
 	// ErrEntryTooLarge reports an entry whose encoding exceeds the WAL
 	// record frame limit; it is refused before any byte is written and
 	// the store stays healthy.
-	ErrEntryTooLarge = errors.New("translog: entry exceeds record size limit")
+	ErrEntryTooLarge = errors.New("translog: entry exceeds record size limit") //lint:allow unusedexport append error contract the HTTP layer maps to a status code; errors.Is target
 	// ErrStoreFailed reports a latched durable-store failure (or a closed
 	// store): every append fails until the store is reopened.
-	ErrStoreFailed = errors.New("translog: durable store unavailable")
+	ErrStoreFailed = errors.New("translog: durable store unavailable") //lint:allow unusedexport append error contract the HTTP layer maps to a status code; errors.Is target
 )
 
 // sthFileName holds the latest durably persisted signed tree head.
@@ -124,10 +124,10 @@ type StoreConfig struct {
 // pre-batched from Log.AppendBatch, so one store call — and therefore
 // one fsync of the active segment and one of the tree head — covers a
 // whole appender batch.
-type Store struct {
+type Store struct { //lint:allow unusedexport the documented storage layer beneath Log; exported seam for store-level tests and benchmarks
 	dir string
 	cfg StoreConfig
-	// anchors is the full trust-anchor chain, the built-in STHAnchor
+	// anchors is the full trust-anchor chain, the built-in sthAnchor
 	// first: every committed head flows through each of them.
 	anchors []TrustAnchor
 	// anchorHist are the chain's pre-resolved per-anchor commit-latency
@@ -188,7 +188,7 @@ func (st *stream) name(first uint64) string {
 
 // openStoreDir creates the store directory and returns a Store resuming
 // the verified recovered state rec. anchors is the trust-anchor chain
-// (built-in STHAnchor first).
+// (built-in sthAnchor first).
 func openStoreDir(dir string, cfg StoreConfig, anchors []TrustAnchor, rec *recovered) (*Store, error) {
 	if cfg.SegmentMaxBytes <= 0 {
 		cfg.SegmentMaxBytes = defaultSegmentMaxBytes
@@ -471,7 +471,7 @@ func (st *stream) rotate(s *Store, first uint64) error {
 }
 
 // persistSTHFile atomically replaces the durable tree head. It is the
-// STHAnchor's persistence primitive.
+// sthAnchor's persistence primitive.
 func persistSTHFile(dir string, sth SignedTreeHead, noSync bool) error {
 	data, err := json.Marshal(sth)
 	if err != nil {

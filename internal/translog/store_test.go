@@ -387,7 +387,7 @@ func TestTamperDetected(t *testing.T) {
 	}
 	// Rewrite entry 3's actor and re-frame the whole segment with
 	// correct checksums.
-	victim, err := UnmarshalEntry(payloads[3])
+	victim, err := unmarshalEntry(payloads[3])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -656,7 +656,7 @@ func TestRefusedOpenDoesNotTruncate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim, err := UnmarshalEntry(payloads[1])
+	victim, err := unmarshalEntry(payloads[1])
 	if err != nil {
 		t.Fatal(err)
 	}

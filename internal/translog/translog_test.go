@@ -6,6 +6,7 @@ import (
 	"crypto/elliptic"
 	"crypto/rand"
 	"crypto/x509"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -42,7 +43,7 @@ func TestEntryMarshalRoundTrip(t *testing.T) {
 		{Type: EntryProvision, Timestamp: 1, Actor: "fw", Measurement: []byte{1, 2, 3}},
 	}
 	for _, want := range cases {
-		got, err := UnmarshalEntry(want.Marshal())
+		got, err := unmarshalEntry(want.Marshal())
 		if err != nil {
 			t.Fatalf("%v: %v", want, err)
 		}
@@ -56,27 +57,27 @@ func TestEntryUnmarshalRejectsMalformed(t *testing.T) {
 	full := testEntry(3).Marshal()
 	// Every strict prefix must be rejected, never panic.
 	for n := 0; n < len(full); n++ {
-		if _, err := UnmarshalEntry(full[:n]); err == nil {
+		if _, err := unmarshalEntry(full[:n]); err == nil {
 			t.Fatalf("truncation to %d bytes accepted", n)
 		}
 	}
-	if _, err := UnmarshalEntry(append(append([]byte(nil), full...), 0)); err == nil {
+	if _, err := unmarshalEntry(append(append([]byte(nil), full...), 0)); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
 	bad := append([]byte(nil), full...)
 	bad[1] = 99 // unknown type
-	if _, err := UnmarshalEntry(bad); err == nil {
+	if _, err := unmarshalEntry(bad); err == nil {
 		t.Fatal("unknown type accepted")
 	}
 	bad = append([]byte(nil), full...)
 	bad[0] = 2 // unknown version
-	if _, err := UnmarshalEntry(bad); err == nil {
+	if _, err := unmarshalEntry(bad); err == nil {
 		t.Fatal("unknown version accepted")
 	}
 	// Huge length prefix must not allocate or crash.
 	huge := append([]byte{entryVersion, byte(EntryEnroll)}, make([]byte, 8)...)
 	huge = append(huge, 0xff, 0xff, 0xff, 0xff)
-	if _, err := UnmarshalEntry(huge); err == nil {
+	if _, err := unmarshalEntry(huge); err == nil {
 		t.Fatal("huge length prefix accepted")
 	}
 }
@@ -234,7 +235,7 @@ func TestLogProveSerial(t *testing.T) {
 	if !l.SerialRevoked("4242") {
 		t.Fatal("revocation not recorded")
 	}
-	if _, err := l.ProveSerial("4242"); err != ErrLogRevoked {
+	if _, err := l.ProveSerial("4242"); !errors.Is(err, ErrLogRevoked) {
 		t.Fatalf("want ErrLogRevoked, got %v", err)
 	}
 }
@@ -276,7 +277,7 @@ func TestAppenderBatchesAndFlushes(t *testing.T) {
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Append(testEntry(0)); err != ErrClosedLog {
+	if err := a.Append(testEntry(0)); !errors.Is(err, ErrClosedLog) {
 		t.Fatalf("append after close: %v", err)
 	}
 }
@@ -334,7 +335,7 @@ func TestHTTPServerAndClient(t *testing.T) {
 	if err := c.Append([]Entry{{Type: EntryRevoke, Timestamp: 99, Actor: "vnf-3", Serial: "103"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ProveSerial("103"); err != ErrLogRevoked {
+	if _, err := c.ProveSerial("103"); !errors.Is(err, ErrLogRevoked) {
 		t.Fatalf("want ErrLogRevoked over HTTP, got %v", err)
 	}
 	cons, err := c.ConsistencyProof(4, 10)

@@ -15,7 +15,7 @@ var (
 	ErrRollback = errors.New("translog: tree head rollback")
 	// ErrSplitView reports two irreconcilable tree heads — the log showed
 	// different histories to different parties (or rewrote its own).
-	ErrSplitView = errors.New("translog: split view detected")
+	ErrSplitView = errors.New("translog: split view detected") //lint:allow unusedexport README-documented gossip outcome; reaches callers wrapped in ConflictError evidence
 )
 
 // ConflictError is the evidence form of ErrRollback/ErrSplitView: the two

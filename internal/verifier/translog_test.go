@@ -2,6 +2,7 @@ package verifier
 
 import (
 	"crypto/ecdsa"
+	"errors"
 	"testing"
 
 	"vnfguard/internal/translog"
@@ -72,7 +73,7 @@ func TestManagerAuditsWorkflow(t *testing.T) {
 	if !log.SerialRevoked(enr.Serial) {
 		t.Fatal("revocation not committed")
 	}
-	if _, err := d.m.CredentialProof(enr.Serial); err != translog.ErrLogRevoked {
+	if _, err := d.m.CredentialProof(enr.Serial); !errors.Is(err, translog.ErrLogRevoked) {
 		t.Fatalf("want ErrLogRevoked, got %v", err)
 	}
 	sth := log.STH()
