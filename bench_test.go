@@ -709,6 +709,78 @@ func BenchmarkE12InclusionVerify(b *testing.B) {
 	}
 }
 
+// BenchmarkE19TileProofServing compares the two ways an auditor gets an
+// inclusion proof out of the log server: the per-request proof endpoint
+// (one HTTP round trip per proof, the server walks its tree every
+// time), and client-side assembly from content-addressed tiles — cold
+// (a too-small LRU, every proof re-fetches tiles over HTTP) and warm
+// (the working set's tiles cached and pre-expanded, so a proof is a
+// handful of in-memory array reads and zero HTTP). Every proof is
+// verified against the tree root in all modes, so the comparison is
+// end-to-end useful work. The full 10^6-entry run with the ≥10x verdict
+// lives in cmd/benchreport (E19).
+func BenchmarkE19TileProofServing(b *testing.B) {
+	d := newBenchDeployment(b, core.Options{})
+	signer := d.VM.CA().Signer()
+	l, err := translog.NewLog(signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const population = 1 << 16
+	batch := make([]translog.Entry, population)
+	for i := range batch {
+		batch[i] = benchLogEntry(i)
+	}
+	if _, err := l.AppendBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, translog.Handler(l))
+	url := "http://" + ln.Addr().String()
+	sth := l.STH()
+
+	// The auditors' working set: 512 indices spread across the whole
+	// tree (a fixed period, so the warm run can cover it up front).
+	prove := func(b *testing.B, i int, proofs func(index, size uint64) ([]translog.Hash, error)) {
+		b.Helper()
+		index := uint64((i%512)*7919) % population
+		proof, err := proofs(index, population)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leaf := translog.LeafHash(batch[index].Marshal())
+		if err := translog.VerifyInclusion(leaf, index, population, proof, sth.RootHash); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("endpoint", func(b *testing.B) {
+		c := translog.NewClient(url, nil)
+		for i := 0; i < b.N; i++ {
+			prove(b, i, c.InclusionProof)
+		}
+	})
+	b.Run("tile-cold", func(b *testing.B) {
+		asm := translog.NewTileAssembler(translog.NewClient(url, nil), 2)
+		for i := 0; i < b.N; i++ {
+			prove(b, i, asm.InclusionProof)
+		}
+	})
+	b.Run("tile-warm", func(b *testing.B) {
+		asm := translog.NewTileAssembler(translog.NewClient(url, nil), 1024)
+		for i := 0; i < 512; i++ { // pull the whole working set in
+			prove(b, i, asm.InclusionProof)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prove(b, i, asm.InclusionProof)
+		}
+	})
+}
+
 // BenchmarkE14GossipExchange measures the witness gossip protocol: the
 // per-head signature verification that bounds how a witness scales with
 // peers, and a full exchange round — served-head poll plus a head swap

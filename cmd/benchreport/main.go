@@ -73,6 +73,7 @@ func main() {
 		{"E16", "Per-host sharded appender scaling (1/4/16 hosts)", runE16},
 		{"E17", "Telemetry overhead on the sharded append path (+ live /metrics scrape)", runE17},
 		{"E18", "Checkpointed recovery vs full WAL replay (10^4..10^6 entries)", runE18},
+		{"E19", "Tile-based proof serving vs the per-request proof endpoint (10^6 entries)", runE19},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -1543,6 +1544,144 @@ func runE18(runs int) (*metrics.Table, error) {
 		}
 		t.AddRow(fmt.Sprint(size), inMs(points[si].full), inMs(points[si].ckpt),
 			fmt.Sprintf("%.1f×", float64(points[si].full)/float64(points[si].ckpt)), verdict)
+	}
+	return t, nil
+}
+
+// runE19 measures tile-based proof serving at the scale the design is
+// for: a 10^6-entry log served over HTTP, and an auditor that needs
+// inclusion proofs for a recurring working set of credentials. The
+// baseline asks the per-request InclusionProof endpoint (one round trip
+// per proof, the server walks its tree each time). The tile modes
+// assemble the same proofs client-side from content-addressed tiles:
+// cold thrashes a tiny LRU (every proof re-fetches its tiles), warm
+// holds the working set's tiles pre-expanded, so a proof costs a few
+// array reads and zero HTTP. Every proof is verified against the tree
+// root in all modes. The acceptance verdict: warm tile assembly must
+// beat the endpoint by ≥10x.
+func runE19(runs int) (*metrics.Table, error) {
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	l, err := translog.NewLog(ca.Signer())
+	if err != nil {
+		return nil, err
+	}
+	const population = 1_000_000
+	const chunk = 8192
+	leaves := make([]translog.Hash, 0, population)
+	for at := 0; at < population; at += chunk {
+		n := chunk
+		if at+n > population {
+			n = population - at
+		}
+		batch := make([]translog.Entry, n)
+		for i := range batch {
+			batch[i] = translog.Entry{
+				Type: translog.EntryAttestOK, Timestamp: int64(at + i),
+				Actor: fmt.Sprintf("fw-%d", at+i), Host: "host-0", Detail: "OK",
+			}
+			leaves = append(leaves, translog.LeafHash(batch[i].Marshal()))
+		}
+		if _, err := l.AppendBatch(batch); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	go http.Serve(ln, translog.Handler(l))
+	url := "http://" + ln.Addr().String()
+	sth := l.STH()
+
+	// The auditor's working set: a fixed cycle of indices spread across
+	// the whole tree, so the warm mode can cover it up front.
+	const workingSet = 2048
+	const proofsPerRun = 3000
+	index := func(i int) uint64 { return uint64((i%workingSet)*7919) % population }
+	prove := func(i int, proofs func(index, size uint64) ([]translog.Hash, error)) error {
+		idx := index(i)
+		proof, err := proofs(idx, population)
+		if err != nil {
+			return err
+		}
+		return translog.VerifyInclusion(leaves[idx], idx, population, proof, sth.RootHash)
+	}
+
+	type mode struct {
+		name  string
+		setup func() (func(index, size uint64) ([]translog.Hash, error), *translog.TileAssembler, error)
+	}
+	modes := []mode{
+		{"endpoint", func() (func(index, size uint64) ([]translog.Hash, error), *translog.TileAssembler, error) {
+			return translog.NewClient(url, nil).InclusionProof, nil, nil
+		}},
+		{"tile-cold", func() (func(index, size uint64) ([]translog.Hash, error), *translog.TileAssembler, error) {
+			asm := translog.NewTileAssembler(translog.NewClient(url, nil), 4)
+			return asm.InclusionProof, asm, nil
+		}},
+		{"tile-warm", func() (func(index, size uint64) ([]translog.Hash, error), *translog.TileAssembler, error) {
+			asm := translog.NewTileAssembler(translog.NewClient(url, nil), 16384)
+			for i := 0; i < workingSet; i++ { // pull the whole working set in
+				if err := prove(i, asm.InclusionProof); err != nil {
+					return nil, nil, err
+				}
+			}
+			return asm.InclusionProof, asm, nil
+		}},
+	}
+
+	type result struct {
+		mean     time.Duration
+		hitRatio string
+	}
+	results := make([]result, len(modes))
+	for mi, m := range modes {
+		proofs, asm, err := m.setup()
+		if err != nil {
+			return nil, err
+		}
+		h := metrics.NewHistogram(m.name)
+		for r := 0; r < runs; r++ {
+			for i := 0; i < proofsPerRun; i++ {
+				i := i
+				var perr error
+				h.Time(func() { perr = prove(r*proofsPerRun+i, proofs) })
+				if perr != nil {
+					return nil, fmt.Errorf("%s: %w", m.name, perr)
+				}
+			}
+		}
+		results[mi] = result{mean: h.Summarize().Mean, hitRatio: "n/a"}
+		if asm != nil {
+			hits, misses := asm.Stats()
+			results[mi].hitRatio = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+		}
+	}
+
+	baseline := results[0].mean
+	t := metrics.NewTable(fmt.Sprintf("E19 — tile-based proof serving at 10^6 entries (n=%d, %d proofs/run, %d-index working set)",
+		runs, proofsPerRun, workingSet),
+		"mode", "mean/proof", "proofs/sec", "tile cache hits", "vs endpoint", "verdict")
+	for mi, m := range modes {
+		r := results[mi]
+		speedup := float64(baseline) / float64(r.mean)
+		verdict := ""
+		if m.name == "tile-warm" {
+			verdict = ">=10x (pass)"
+			if speedup < 10 {
+				verdict = "BELOW 10x"
+			}
+		}
+		t.AddRow(m.name,
+			fmt.Sprintf("%.1f µs", float64(r.mean)/float64(time.Microsecond)),
+			fmt.Sprintf("%.0f", float64(time.Second)/float64(r.mean)),
+			r.hitRatio,
+			fmt.Sprintf("%.1f×", speedup),
+			verdict)
 	}
 	return t, nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"crypto/ecdsa"
 	"crypto/tls"
 	"crypto/x509"
 	"flag"
@@ -19,12 +20,14 @@ import (
 	"vnfguard/internal/obs"
 	"vnfguard/internal/pki"
 	"vnfguard/internal/statedir"
+	"vnfguard/internal/translog"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	stateDir := flag.String("state-dir", "./state", "shared state directory")
 	modeName := flag.String("mode", "trusted-https", "security mode: http, https, trusted-https")
+	logURL := flag.String("log-url", "", "transparency-log server URL for trusted-https credential checks (default: the URL published in the state dir; \"off\" disables the log check)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for VM init material")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:0", "telemetry listen address (/metrics, /debug/vars, /debug/pprof); empty disables. The endpoint is unauthenticated — keep it loopback-bound.")
 	flag.Parse()
@@ -92,6 +95,32 @@ func main() {
 		pool.AddCert(ca)
 		cfg.Trust = controller.TrustCA
 		cfg.ClientCAs = pool
+
+		// Trusted mode also demands logged evidence: every client
+		// credential must be provably in the VM's transparency log (and
+		// not revoked there). Proofs are assembled client-side from
+		// cached immutable tiles — a handshake burst costs the log
+		// server cacheable tile reads, not per-handshake audit-path
+		// computation.
+		if *logURL != "off" {
+			url := *logURL
+			if url == "" {
+				if raw, err := dir.WaitFor(statedir.FileLogURL, *wait); err == nil {
+					url = string(raw)
+				} else {
+					log.Printf("no transparency-log URL published (%v); serving without the credential log check (set -log-url to require it)", err)
+				}
+			}
+			if url != "" {
+				caPub, ok := ca.PublicKey.(*ecdsa.PublicKey)
+				if !ok {
+					log.Fatalf("CA key type %T unsupported for log verification", ca.PublicKey)
+				}
+				source := translog.NewTileProofSource(translog.NewClient(url, caPub), 0)
+				cfg.CredentialLog = translog.NewCredentialChecker(caPub, source)
+				log.Printf("credential log check active: tile-assembled proofs from %s", url)
+			}
+		}
 	}
 
 	srv, err := controller.Serve(ctrl, cfg, *addr)

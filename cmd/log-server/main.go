@@ -188,6 +188,10 @@ func runMonitor(dir *statedir.Dir, url, name, gossipAddr, peersFlag string, inte
 		log.Printf("witness %q restored persisted head: size=%d root=%x…", name, last.Size, last.RootHash[:8])
 	}
 	pool := translog.NewGossipPool(name, witness, client)
+	// Assemble consistency proofs from cached immutable tiles instead of
+	// hitting the server's per-request proof endpoint every advance — a
+	// witness fleet's polling load becomes cacheable tile fetches.
+	pool.UseTileProofs(0)
 
 	// Serve our side of the gossip protocol and publish where to find it.
 	ln, err := net.Listen("tcp", gossipAddr)

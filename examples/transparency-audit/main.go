@@ -14,7 +14,11 @@
 // the two irreconcilable signed heads as evidence. The finale upgrades
 // the attacker once more — rewinding the witness state too, total
 // amnesia — and the enclave-sealed monotonic tree head still convicts,
-// because its counter lives in platform hardware, not on any disk.
+// because its counter lives in platform hardware, not on any disk. The
+// closing act flips the dependency around: an auditor caches the log's
+// content-addressed Merkle tiles while the server is up, the server is
+// stopped outright, and fresh inclusion proofs still assemble and
+// verify offline from the cache alone.
 //
 //	go run ./examples/transparency-audit
 package main
@@ -270,6 +274,16 @@ func main() {
 	fmt.Println()
 	fmt.Println("--- per-host shards: one merged tree head for a fleet of hosts ---")
 	runShardedAct(d.VM.CA().Signer(), logKey)
+
+	// 10. Tile-based proof serving: an auditor caches the log's
+	//     content-addressed Merkle tiles while the server is up, then the
+	//     server goes away entirely — and fresh inclusion proofs still
+	//     assemble and verify offline, from the cache alone. Tiles carry
+	//     no authority: the proofs they fold into are checked against the
+	//     signed head, so caching them costs no trust.
+	fmt.Println()
+	fmt.Println("--- tile-based proofs: auditing from cache after the server is gone ---")
+	runTileAct(d.VM.CA().Signer(), logKey)
 
 	// Final scrape: the acts between the scrapes appended more entries,
 	// committed more anchors and ran gossip rounds — the series must have
@@ -678,6 +692,77 @@ func restoreFiles(dir string, snap map[string][]byte) error {
 		}
 	}
 	return nil
+}
+
+// runTileAct is the offline-auditor act. While the log server is up, an
+// auditor pulls the tree's content-addressed tiles through the tile
+// endpoint (each response immutable and cacheable forever) and checks
+// the signed head's root against them. Then the server is stopped — not
+// paused, the listener is closed — and the auditor keeps producing
+// fresh inclusion proofs for entries it never asked the server about,
+// assembling them from the cached tiles alone and verifying each
+// against the signed head it captured while online.
+func runTileAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
+	l, err := translog.NewLog(signer)
+	check(err)
+	const population = 600
+	batch := make([]translog.Entry, population)
+	for i := range batch {
+		batch[i] = translog.Entry{
+			Type: translog.EntryEnroll, Timestamp: time.Now().UnixMilli(),
+			Actor: fmt.Sprintf("fw-%d", i), Host: "host-0",
+			Serial: strconv.Itoa(500000 + i), Detail: "OK",
+		}
+	}
+	_, err = l.AppendBatch(batch)
+	check(err)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := &http.Server{Handler: translog.Handler(l)}
+	go srv.Serve(ln)
+	client := translog.NewClient("http://"+ln.Addr().String(), logKey)
+
+	// Online: capture the signed head and pull the tiles it commits to.
+	// RootAt walks every tile the tree has, so this is the auditor's
+	// cache warm-up and its strongest check in one: the recomputed root
+	// must equal what the log signed.
+	asm := translog.NewTileAssembler(client, 0)
+	sth, err := client.STH()
+	check(err)
+	root, err := asm.RootAt(sth.Size)
+	check(err)
+	if root != sth.RootHash {
+		log.Fatal("tile-recomputed root disagrees with the signed head")
+	}
+	entries, err := client.Entries(0, sth.Size)
+	check(err)
+	// One proof per level-0 tile pulls in every tile the head's proofs
+	// can touch — the root walk above only needed the upper levels.
+	for _, index := range []uint64{0, 300, 595} {
+		_, err := asm.InclusionProof(index, sth.Size)
+		check(err)
+	}
+	fmt.Printf("online: %d entries, signed head (size %d) recomputed from tiles, tile set cached ✓\n", len(entries), sth.Size)
+
+	// The server goes away for good: listener closed AND every live
+	// connection torn down, so not even a pooled keep-alive survives.
+	check(srv.Close())
+	if _, err := client.STH(); err == nil {
+		log.Fatal("server still answering after Close — the offline claim would be vacuous")
+	}
+	fmt.Println("log server STOPPED (listener and connections closed, head endpoint unreachable)")
+
+	// Offline: fresh proofs for entries across the whole tree, assembled
+	// from the cache, verified against the captured head.
+	for _, index := range []uint64{0, 255, 256, population/2 + 1, population - 1} {
+		proof, err := asm.InclusionProof(index, sth.Size)
+		check(err)
+		leaf := translog.LeafHash(entries[index].Marshal())
+		check(translog.VerifyInclusion(leaf, index, sth.Size, proof, sth.RootHash))
+	}
+	hits, misses := asm.Stats()
+	fmt.Printf("offline: 5 fresh inclusion proofs assembled from cached tiles and verified (%d tile hits, %d fetches, all while online) ✓\n", hits, misses)
+	fmt.Println("  the cache carries no trust: a wrong tile can only fail verification, never forge a proof ✓")
 }
 
 func check(err error) {

@@ -33,6 +33,11 @@ var proofMethods = map[string]bool{
 	"ConsistencyProof": true,
 	"RootAt":           true,
 	"ProveSerial":      true,
+	// Tile serving is the cacheable read path: a tile response is
+	// immutable and must come from committed state only — never from
+	// under the commit lock, where a mid-commit tree could leak
+	// uncommitted nodes into a response caches keep forever.
+	"Tile": true,
 }
 
 // LockScope is the lock-discipline analyzer.

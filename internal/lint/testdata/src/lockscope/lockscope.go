@@ -84,3 +84,18 @@ func (l *prover) ConsistencyProof(other *sync.Mutex) {
 	other.Lock()
 	defer other.Unlock()
 }
+
+// Tile is a proof-path method: an immutable tile response must never be
+// produced under the commit lock.
+func (l *prover) Tile(level, index uint64) uint64 {
+	l.mu.Lock() // want "proof path Tile acquires write lock l.mu.Lock()"
+	defer l.mu.Unlock()
+	return level + index
+}
+
+// TileUnderRLock is fine at tile level too: the sanctioned read shape.
+func (l *prover) TileRead(level uint64) uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return level
+}

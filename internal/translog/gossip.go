@@ -71,6 +71,11 @@ type GossipPool struct {
 	// proofs. May be nil for a pure relay witness (gossip only).
 	log *Client
 
+	// tiles, when set (UseTileProofs), assembles consistency proofs
+	// client-side from cached tiles instead of asking the server's
+	// consistency endpoint per advance.
+	tiles *TileAssembler
+
 	mu       sync.Mutex
 	peers    []*Client
 	conflict *ConflictError
@@ -81,6 +86,21 @@ type GossipPool struct {
 // attribution) watching the log served by logClient.
 func NewGossipPool(name string, w *Witness, logClient *Client) *GossipPool {
 	return &GossipPool{name: name, w: w, log: logClient}
+}
+
+// UseTileProofs switches the pool's consistency-proof fetches onto a
+// tile assembler over the watched log, caching up to cacheTiles
+// expanded tiles (≤ 0: default). A fleet of witnesses each advancing on
+// every served head is exactly the fan-out per-request proof
+// computation cannot serve: with tiles, each advance is a handful of
+// immutable (and usually already-cached) tile fetches, folded locally.
+// Harmless to verification — an assembled proof convinces the witness
+// through the same VerifyConsistency check a server-computed one must
+// pass. Call before the pool starts exchanging.
+func (g *GossipPool) UseTileProofs(cacheTiles int) {
+	if g.log != nil {
+		g.tiles = NewTileAssembler(g.log, cacheTiles)
+	}
 }
 
 // Name returns the pool's witness name.
@@ -134,10 +154,18 @@ func (g *GossipPool) latch(err error) error {
 }
 
 // fetchConsistency proxies proofs from the watched log; without one the
-// merge can only compare equal-size heads.
+// merge can only compare equal-size heads. With tiles enabled the proof
+// is assembled locally from cached tiles, falling back to the server's
+// consistency endpoint if the tile read path cannot cover the range
+// (e.g. an old server without the tile endpoint).
 func (g *GossipPool) fetchConsistency(first, second uint64) ([]Hash, error) {
 	if g.log == nil {
 		return nil, errors.New("translog: gossip pool has no log to fetch consistency proofs from")
+	}
+	if g.tiles != nil {
+		if proof, err := g.tiles.ConsistencyProof(first, second); err == nil {
+			return proof, nil
+		}
 	}
 	return g.log.ConsistencyProof(first, second)
 }

@@ -24,6 +24,23 @@ const (
 	pathLookup      = "/translog/v1/lookup"
 	pathAppend      = "/translog/v1/append"
 	pathGossip      = "/translog/v1/gossip"
+	// pathTile is the tile subtree: GET {level}/{index} for a full tile,
+	// GET {level}/{index}.p/{width} for a partial right-edge tile.
+	pathTile = "/translog/v1/tile/"
+)
+
+// Cache-Control values. Everything a tile-based log serves is either
+// immutable (named by content: full tiles, entry ranges and proofs below
+// a signed head never change) or the one moving part (the head itself,
+// the right edge), which must revalidate. Getting these right is what
+// lets a plain HTTP cache in front of the log absorb the fan-out of
+// millions of verifying clients.
+const (
+	cacheImmutable = "public, max-age=31536000, immutable"
+	// cachePartialTile: a partial tile's named prefix never changes, but
+	// clients soon want a wider one — short-lived, not revalidate-always.
+	cachePartialTile = "public, max-age=60"
+	cacheNoCache     = "no-cache"
 )
 
 // Client-side protocol errors.
@@ -78,6 +95,9 @@ func (h *Hash) UnmarshalJSON(b []byte) error {
 func Handler(l *Log) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+pathSTH, func(w http.ResponseWriter, r *http.Request) {
+		// The head is the one response that must always revalidate: a
+		// cache serving yesterday's head would hide yesterday's appends.
+		w.Header().Set("Cache-Control", cacheNoCache)
 		writeJSON(w, l.STH())
 	})
 	mux.HandleFunc("GET "+pathEntries, func(w http.ResponseWriter, r *http.Request) {
@@ -87,12 +107,25 @@ func Handler(l *Log) http.Handler {
 			http.Error(w, "bad start/count", http.StatusBadRequest)
 			return
 		}
+		// A range strictly below the signed head can never change — the
+		// log is append-only and the head is its commitment — so the
+		// response is immutable and any front cache may keep it forever.
+		// Ranges touching the head are clamped responses that grow on the
+		// next append; those must revalidate.
+		if count > 0 && start+count >= start && start+count <= l.STH().Size {
+			w.Header().Set("Cache-Control", cacheImmutable)
+		} else {
+			w.Header().Set("Cache-Control", cacheNoCache)
+		}
 		entries := l.Entries(start, count)
 		out := make([]wireEntry, len(entries))
 		for i, e := range entries {
 			out[i] = wireEntry{Canonical: e.Marshal()}
 		}
 		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET "+pathTile, func(w http.ResponseWriter, r *http.Request) {
+		serveTile(l, w, r)
 	})
 	mux.HandleFunc("GET "+pathInclusion, func(w http.ResponseWriter, r *http.Request) {
 		index, err1 := queryUint(r, "index")
@@ -105,6 +138,12 @@ func Handler(l *Log) http.Handler {
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
+		}
+		// The parameters pin the tree the path is computed in, so the
+		// response below a signed head is as immutable as the tiles it
+		// could be assembled from.
+		if size <= l.STH().Size {
+			w.Header().Set("Cache-Control", cacheImmutable)
 		}
 		writeJSON(w, wireProof{Proof: proof})
 	})
@@ -120,6 +159,9 @@ func Handler(l *Log) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		if second <= l.STH().Size {
+			w.Header().Set("Cache-Control", cacheImmutable)
+		}
 		writeJSON(w, wireProof{Proof: proof})
 	})
 	mux.HandleFunc("GET "+pathLookup, func(w http.ResponseWriter, r *http.Request) {
@@ -128,7 +170,16 @@ func Handler(l *Log) http.Handler {
 			http.Error(w, "missing serial", http.StatusBadRequest)
 			return
 		}
-		pb, err := l.ProveSerial(serial)
+		// proof=0 skips the server-side audit path: tile-assembling
+		// clients fold it locally from cached tiles, so the sequencer's
+		// machine does a map read and an entry copy, nothing more.
+		var pb *ProofBundle
+		var err error
+		if r.URL.Query().Get("proof") == "0" {
+			pb, err = l.lookupBundle(serial)
+		} else {
+			pb, err = l.ProveSerial(serial)
+		}
 		if err != nil {
 			// Revoked and never-logged are distinct verdicts for a
 			// relying party; encode the difference in the status code so
@@ -181,6 +232,61 @@ func Handler(l *Log) http.Handler {
 		writeJSON(w, map[string]any{"indices": indices, "sth": l.STH()})
 	})
 	return mux
+}
+
+// serveTile answers GET /translog/v1/tile/{level}/{index} (full tiles)
+// and GET /translog/v1/tile/{level}/{index}.p/{width} (partial right-
+// edge tiles). The body is the checksummed tile framing, verbatim —
+// for a published full tile, the exact bytes of the statedir cache
+// file. Full tiles are immutable forever; partial tiles are short-
+// lived. Requests past the committed head 404 so caches never memorise
+// a right edge that does not exist yet. ({index}.p is not a valid
+// ServeMux wildcard segment, so the subtree is parsed by hand.)
+func serveTile(l *Log, w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, pathTile)
+	parts := strings.Split(rest, "/")
+	width := TileWidth
+	var levelStr, indexStr string
+	switch len(parts) {
+	case 2:
+		levelStr, indexStr = parts[0], parts[1]
+	case 3:
+		levelStr = parts[0]
+		var ok bool
+		indexStr, ok = strings.CutSuffix(parts[1], ".p")
+		if !ok {
+			http.Error(w, "bad tile path", http.StatusNotFound)
+			return
+		}
+		pw, err := strconv.Atoi(parts[2])
+		if err != nil || pw <= 0 || pw >= TileWidth {
+			http.Error(w, "bad tile width", http.StatusNotFound)
+			return
+		}
+		width = pw
+	default:
+		http.Error(w, "bad tile path", http.StatusNotFound)
+		return
+	}
+	level, err1 := strconv.ParseUint(levelStr, 10, 64)
+	index, err2 := strconv.ParseUint(indexStr, 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "bad tile coordinates", http.StatusNotFound)
+		return
+	}
+	t, err := l.Tile(level, index, width)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	mTileHTTP.Inc()
+	if width == TileWidth {
+		w.Header().Set("Cache-Control", cacheImmutable)
+	} else {
+		w.Header().Set("Cache-Control", cachePartialTile)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(encodeTile(t))
 }
 
 // wireGossip carries one witness's view on the gossip wire: its name (for
@@ -295,6 +401,21 @@ func NewClient(baseURL string, pub *ecdsa.PublicKey) *Client {
 	return newClientWithConfig(baseURL, pub, clientConfig{})
 }
 
+// sharedTransport is the pooled HTTP transport every log client in the
+// process shares by default. Monitors, witnesses and tile assemblers
+// construct clients freely (one per peer, per pool, per checker); with
+// per-client transports each would keep its own idle-connection pool
+// and tile fan-out would pay a TCP (and TLS) handshake per cold
+// request. One shared pool means the second client to talk to a server
+// reuses the first one's connection — pinned by
+// TestClientsShareTransportConnections.
+var sharedTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 16
+	return t
+}()
+
 // newClientWithConfig builds a log client with explicit tuning.
 func newClientWithConfig(baseURL string, pub *ecdsa.PublicKey, cfg clientConfig) *Client {
 	timeout := cfg.Timeout
@@ -304,10 +425,14 @@ func newClientWithConfig(baseURL string, pub *ecdsa.PublicKey, cfg clientConfig)
 	if timeout < 0 {
 		timeout = 0
 	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = sharedTransport
+	}
 	return &Client{
 		base: strings.TrimRight(baseURL, "/"),
 		pub:  pub,
-		http: &http.Client{Timeout: timeout, Transport: cfg.Transport},
+		http: &http.Client{Timeout: timeout, Transport: transport},
 	}
 }
 
@@ -380,10 +505,78 @@ func (c *Client) ConsistencyProof(first, second uint64) ([]Hash, error) {
 	return wire.Proof, nil
 }
 
+// Tile fetches the tile at (level, index) with the given width
+// (TileWidth for a full tile). Tiles carry no signatures — they are
+// only believed through the proofs they assemble into — so no key check
+// happens here; the framing checksum and coordinate echo catch
+// transport damage.
+func (c *Client) Tile(level, index uint64, width int) (*Tile, error) {
+	path := fmt.Sprintf("%s%d/%d", pathTile, level, index)
+	if width != TileWidth {
+		path = fmt.Sprintf("%s.p/%d", path, width)
+	}
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("translog client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("translog client: GET %s: status %d: %s", path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	t, terr := decodeTile(data)
+	if terr != nil {
+		return nil, fmt.Errorf("translog client: GET %s: %w", path, terr)
+	}
+	if t.Level != level || t.Index != index || t.Width() != width {
+		return nil, fmt.Errorf("translog client: GET %s: server returned tile (%d, %d) width %d", path, t.Level, t.Index, t.Width())
+	}
+	return t, nil
+}
+
 // ProveSerial fetches and cryptographically verifies a credential proof
 // bundle (the remote controller-side counterpart of Log.ProveSerial).
 func (c *Client) ProveSerial(serial string) (*ProofBundle, error) {
-	resp, err := c.http.Get(c.base + pathLookup + "?serial=" + url.QueryEscape(serial))
+	pb, err := c.fetchLookup(serial, true)
+	if err != nil {
+		return nil, err
+	}
+	if c.pub != nil {
+		if err := pb.Verify(c.pub); err != nil {
+			return nil, err
+		}
+	}
+	return pb, nil
+}
+
+// lookupBundle resolves a serial to its proof bundle minus the audit
+// path (?proof=0): the tile assembler folds the path locally. Only the
+// head signature can be checked here — inclusion is exactly what the
+// assembled proof will establish.
+func (c *Client) lookupBundle(serial string) (*ProofBundle, error) {
+	pb, err := c.fetchLookup(serial, false)
+	if err != nil {
+		return nil, err
+	}
+	if c.pub != nil {
+		if err := pb.STH.Verify(c.pub); err != nil {
+			return nil, err
+		}
+	}
+	return pb, nil
+}
+
+// fetchLookup fetches the lookup endpoint, with or without the
+// server-computed audit path.
+func (c *Client) fetchLookup(serial string, withProof bool) (*ProofBundle, error) {
+	path := c.base + pathLookup + "?serial=" + url.QueryEscape(serial)
+	if !withProof {
+		path += "&proof=0"
+	}
+	resp, err := c.http.Get(path)
 	if err != nil {
 		return nil, fmt.Errorf("translog client: lookup: %w", err)
 	}
@@ -409,13 +602,7 @@ func (c *Client) ProveSerial(serial string) (*ProofBundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	pb := &ProofBundle{Index: wire.Index, Entry: entry, Proof: wire.Proof, STH: wire.STH}
-	if c.pub != nil {
-		if err := pb.Verify(c.pub); err != nil {
-			return nil, err
-		}
-	}
-	return pb, nil
+	return &ProofBundle{Index: wire.Index, Entry: entry, Proof: wire.Proof, STH: wire.STH}, nil
 }
 
 // Append submits a batch to the remote log (Verification Manager use).

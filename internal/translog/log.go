@@ -185,6 +185,18 @@ type Log struct {
 	// store down.
 	ckptBusy atomic.Bool
 	ckptWG   sync.WaitGroup
+
+	// committed is the size covered by the latest acknowledged commit —
+	// what tile serving may expose. An atomic, not l.mu: the tile read
+	// path must never wait on a commit holding the lock across an fsync.
+	committed atomic.Uint64
+	// tileMark is the committed size the background tile publisher has
+	// covered (mirrored in the statedir tiles/published file).
+	tileMark atomic.Uint64
+	// tileBusy/tileWG coordinate the background tile publisher exactly
+	// as ckptBusy/ckptWG do the checkpoint writer.
+	tileBusy atomic.Bool
+	tileWG   sync.WaitGroup
 }
 
 // NewLog creates a log whose tree heads are signed by signer (the
@@ -317,6 +329,7 @@ func (l *Log) appendPreparedTraced(batch []Entry, payloads [][]byte, hashes []Ha
 		}
 	}
 	l.sth = sth
+	l.committed.Store(size)
 	for i, e := range batch {
 		l.indexEntry(e, first+uint64(i))
 	}
@@ -330,6 +343,13 @@ func (l *Log) appendPreparedTraced(batch []Entry, payloads [][]byte, hashes []Ha
 	if l.store != nil && l.store.checkpointDue(size) && l.ckptBusy.CompareAndSwap(false, true) {
 		l.ckptWG.Add(1)
 		go l.checkpointAndCompact()
+	}
+	// Tile publication trigger, same off-commit-path shape: once a
+	// commit completes a fresh full tile, persist it so tile serving is
+	// a file read by the time caches ask.
+	if l.store != nil && l.tilesDue(size) && l.tileBusy.CompareAndSwap(false, true) {
+		l.tileWG.Add(1)
+		go l.publishTilesBG()
 	}
 	return first, nil
 }
@@ -475,14 +495,16 @@ func (l *Log) StoreShards() int {
 // Close releases the durable store, fsyncing the tail segment. It is a
 // no-op for in-memory logs and is safe to call more than once.
 func (l *Log) Close() error {
-	// Wait out any in-flight background checkpoint before locking (the
-	// writer snapshots under the read lock). A commit racing this Close
-	// may spawn a fresh writer after the Wait, so re-check under the
-	// lock — new writers can only be spawned by commits, which hold it.
+	// Wait out any in-flight background checkpoint or tile publisher
+	// before locking (the writers snapshot under the read lock / the
+	// tree's own lock). A commit racing this Close may spawn a fresh
+	// writer after the Wait, so re-check under the lock — new writers
+	// can only be spawned by commits, which hold it.
 	for {
 		l.ckptWG.Wait()
+		l.tileWG.Wait()
 		l.mu.Lock()
-		if !l.ckptBusy.Load() {
+		if !l.ckptBusy.Load() && !l.tileBusy.Load() {
 			break
 		}
 		l.mu.Unlock()
@@ -635,6 +657,31 @@ func (pb *ProofBundle) Verify(pub *ecdsa.PublicKey) error {
 // recovery) rather than found by scanning entries, so the controller's
 // per-handshake cost does not grow with the log.
 func (l *Log) ProveSerial(serial string) (*ProofBundle, error) {
+	pb, err := l.lookupBundle(serial)
+	if err != nil {
+		return nil, err
+	}
+	// The audit path is computed against the snapshotted head without
+	// re-taking the log lock (see InclusionProof).
+	err = l.withHydration(func() error {
+		proof, perr := l.tree.inclusionProof(pb.Index, pb.STH.Size)
+		if perr != nil {
+			return perr
+		}
+		pb.Proof = proof
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pb, nil
+}
+
+// lookupBundle resolves a serial to its proof bundle minus the audit
+// path — what a tile-assembling client needs: it computes the proof
+// itself from cached tiles, so making the server hash one out would
+// defeat the point of the tile read path.
+func (l *Log) lookupBundle(serial string) (*ProofBundle, error) {
 	l.mu.RLock()
 	if l.revoked[serial] {
 		l.mu.RUnlock()
@@ -646,27 +693,20 @@ func (l *Log) ProveSerial(serial string) (*ProofBundle, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: serial %s", ErrNotLogged, serial)
 	}
-	// The audit path is computed against the snapshotted head without
-	// re-taking the log lock (see InclusionProof); only the entry bytes
-	// need the lock back.
-	var pb *ProofBundle
+	var e Entry
 	err := l.withHydration(func() error {
-		proof, perr := l.tree.inclusionProof(idx, sth.Size)
-		if perr != nil {
-			return perr
-		}
 		l.mu.RLock()
 		defer l.mu.RUnlock()
 		if idx < l.entries.base {
 			return errColdRange
 		}
-		pb = &ProofBundle{Index: idx, Entry: l.entries.at(idx), Proof: proof, STH: sth}
+		e = l.entries.at(idx)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return pb, nil
+	return &ProofBundle{Index: idx, Entry: e, STH: sth}, nil
 }
 
 // SerialRevoked reports whether the log holds an EntryRevoke for serial.

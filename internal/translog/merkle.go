@@ -303,33 +303,75 @@ func (t *tree) splice(prefix [][]Hash) {
 	t.frozen = 0
 }
 
-// subtree computes MTH(D[lo:hi]) under t.mu. Complete aligned ranges are
-// direct level lookups; only the ragged right edge recurses. A lookup
-// interior to the frozen prefix returns errColdRange.
-func (t *tree) subtree(lo, hi uint64) (Hash, error) {
+// nodeFunc resolves the root hash of the complete subtree at tree level
+// k whose global node index is idx (covering leaves [idx·2^k,
+// (idx+1)·2^k)). The RFC 6962 recursions below are parameterized over it
+// so the same code serves two node stores: the tree's resident level
+// arrays (server side) and the client-side tile assembler, which
+// reconstructs nodes from fetched tiles.
+type nodeFunc func(k int, idx uint64) (Hash, error)
+
+// nodeLocked resolves a node from the resident level arrays. Callers
+// hold t.mu. A lookup interior to the frozen prefix returns
+// errColdRange.
+func (t *tree) nodeLocked(k int, idx uint64) (Hash, error) {
+	o := t.off(k)
+	if idx < o {
+		return Hash{}, errColdRange
+	}
+	if k >= len(t.levels) || idx-o >= uint64(len(t.levels[k])) {
+		return Hash{}, errors.New("translog: tree node out of range")
+	}
+	return t.levels[k][idx-o], nil
+}
+
+// nodes copies the stored node hashes at tree level k with global
+// indices [lo, hi) — the tile extraction primitive. The copy happens
+// under the tree's own read lock (never the log's commit lock) and
+// performs zero hashing: every interior level is resident, so a tile is
+// a pure memcpy of hashes the commits already computed. Indices below
+// the frozen boundary report errColdRange for the caller to hydrate.
+func (t *tree) nodes(k int, lo, hi uint64) ([]Hash, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if k >= len(t.levels) || lo > hi {
+		return nil, errors.New("translog: tree node out of range")
+	}
+	o := t.off(k)
+	if lo < o {
+		return nil, errColdRange
+	}
+	if hi-o > uint64(len(t.levels[k])) {
+		return nil, errors.New("translog: tree node out of range")
+	}
+	out := make([]Hash, hi-lo)
+	copy(out, t.levels[k][lo-o:hi-o])
+	return out, nil
+}
+
+// merkleSubtree computes MTH(D[lo:hi]) over node. Complete aligned
+// ranges are single node lookups; only the ragged right edge recurses.
+func merkleSubtree(lo, hi uint64, node nodeFunc) (Hash, error) {
 	n := hi - lo
 	if n&(n-1) == 0 && lo&(n-1) == 0 {
 		k := bits.TrailingZeros64(n)
-		idx := lo >> uint(k)
-		o := t.off(k)
-		if idx < o {
-			return Hash{}, errColdRange
-		}
-		if k >= len(t.levels) || idx-o >= uint64(len(t.levels[k])) {
-			return Hash{}, errors.New("translog: tree node out of range")
-		}
-		return t.levels[k][idx-o], nil
+		return node(k, lo>>uint(k))
 	}
 	k := largestPowerOfTwoBelow(n)
-	l, err := t.subtree(lo, lo+k)
+	l, err := merkleSubtree(lo, lo+k, node)
 	if err != nil {
 		return Hash{}, err
 	}
-	r, err := t.subtree(lo+k, hi)
+	r, err := merkleSubtree(lo+k, hi, node)
 	if err != nil {
 		return Hash{}, err
 	}
 	return nodeHash(l, r), nil
+}
+
+// subtree computes MTH(D[lo:hi]) under t.mu.
+func (t *tree) subtree(lo, hi uint64) (Hash, error) {
+	return merkleSubtree(lo, hi, t.nodeLocked)
 }
 
 // inclusionProof returns the RFC 6962 audit path PATH(index, D[size]).
@@ -342,32 +384,32 @@ func (t *tree) inclusionProof(index, size uint64) ([]Hash, error) {
 	if index >= size {
 		return nil, errors.New("translog: leaf index out of range")
 	}
-	return t.path(index, 0, size)
+	return merklePath(index, 0, size, t.nodeLocked)
 }
 
-// path implements PATH(m, D[lo:hi]) with m relative to lo.
-func (t *tree) path(m, lo, hi uint64) ([]Hash, error) {
+// merklePath implements PATH(m, D[lo:hi]) with m relative to lo.
+func merklePath(m, lo, hi uint64, node nodeFunc) ([]Hash, error) {
 	n := hi - lo
 	if n == 1 {
 		return nil, nil
 	}
 	k := largestPowerOfTwoBelow(n)
 	if m < k {
-		p, err := t.path(m, lo, lo+k)
+		p, err := merklePath(m, lo, lo+k, node)
 		if err != nil {
 			return nil, err
 		}
-		s, err := t.subtree(lo+k, hi)
+		s, err := merkleSubtree(lo+k, hi, node)
 		if err != nil {
 			return nil, err
 		}
 		return append(p, s), nil
 	}
-	p, err := t.path(m-k, lo+k, hi)
+	p, err := merklePath(m-k, lo+k, hi, node)
 	if err != nil {
 		return nil, err
 	}
-	s, err := t.subtree(lo, lo+k)
+	s, err := merkleSubtree(lo, lo+k, node)
 	if err != nil {
 		return nil, err
 	}
@@ -388,17 +430,18 @@ func (t *tree) consistencyProof(first, second uint64) ([]Hash, error) {
 	if first == second {
 		return nil, nil
 	}
-	return t.subproof(first, 0, second, true)
+	return merkleSubproof(first, 0, second, true, t.nodeLocked)
 }
 
-// subproof implements SUBPROOF(m, D[lo:hi], b) with m relative to lo.
-func (t *tree) subproof(m, lo, hi uint64, complete bool) ([]Hash, error) {
+// merkleSubproof implements SUBPROOF(m, D[lo:hi], b) with m relative to
+// lo.
+func merkleSubproof(m, lo, hi uint64, complete bool, node nodeFunc) ([]Hash, error) {
 	n := hi - lo
 	if m == n {
 		if complete {
 			return nil, nil
 		}
-		s, err := t.subtree(lo, hi)
+		s, err := merkleSubtree(lo, hi, node)
 		if err != nil {
 			return nil, err
 		}
@@ -406,21 +449,21 @@ func (t *tree) subproof(m, lo, hi uint64, complete bool) ([]Hash, error) {
 	}
 	k := largestPowerOfTwoBelow(n)
 	if m <= k {
-		p, err := t.subproof(m, lo, lo+k, complete)
+		p, err := merkleSubproof(m, lo, lo+k, complete, node)
 		if err != nil {
 			return nil, err
 		}
-		s, err := t.subtree(lo+k, hi)
+		s, err := merkleSubtree(lo+k, hi, node)
 		if err != nil {
 			return nil, err
 		}
 		return append(p, s), nil
 	}
-	p, err := t.subproof(m-k, lo+k, hi, false)
+	p, err := merkleSubproof(m-k, lo+k, hi, false, node)
 	if err != nil {
 		return nil, err
 	}
-	s, err := t.subtree(lo, lo+k)
+	s, err := merkleSubtree(lo, lo+k, node)
 	if err != nil {
 		return nil, err
 	}

@@ -78,6 +78,18 @@ var (
 	mCompactRuns = obsReg.Counter("translog_compaction_runs_total",
 		"Cold-segment compaction runs that archived at least one record.")
 
+	// Tile read path.
+	mTileCacheHits = obsReg.Counter("translog_tile_cache_hits_total",
+		"Full-tile requests served straight from the statedir tile cache (no tree access).")
+	mTileCacheMisses = obsReg.Counter("translog_tile_cache_misses_total",
+		"Full-tile requests that missed the statedir tile cache and were extracted from the tree.")
+	mTilesPublished = obsReg.Counter("translog_tile_published_total",
+		"Full tiles persisted into the statedir tile cache (background publisher plus write-through).")
+	mTileMark = obsReg.Gauge("translog_tile_published_mark",
+		"Committed size the background tile publisher has covered.")
+	mTileHTTP = obsReg.Counter("translog_tile_http_requests_total",
+		"Tile endpoint requests served (full and partial).")
+
 	// Sealed-head anchor enclave calls.
 	mSealedSeal = obsReg.Histogram("translog_sealed_seal_seconds",
 		"Sealed-head anchor: seal ECall latency per committed head.")

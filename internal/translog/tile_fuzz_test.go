@@ -1,0 +1,92 @@
+package translog
+
+import (
+	"testing"
+)
+
+// FuzzTileDeterminism pins the content-addressing invariant the whole
+// read path depends on: a tile's encoded bytes are a pure function of
+// (tree content, level, index, width) — never of how the tree got
+// there. Two logs fed the same entries through fuzzer-chosen batch
+// splits must emit byte-identical tiles at every coordinate, and the
+// framing must round-trip exactly. If this ever breaks, "immutable,
+// cache forever" becomes a lie and every front cache serves split
+// views.
+//
+// The input script: bytes 0-1 pick the entry count (1..1400); each
+// following byte carves the next batch boundary for the second log (a
+// zero byte means a 1-entry batch), cycling when the script runs out.
+func FuzzTileDeterminism(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1})
+	f.Add([]byte{1, 0, 7})
+	f.Add([]byte{2, 0, 255, 1})
+	f.Add([]byte{3, 4, 100, 100, 100})
+	f.Add([]byte{5, 120, 33, 0, 0, 9})
+	f.Add([]byte{4, 0, 64, 64, 64, 64, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		n := (int(data[0])<<8|int(data[1]))%1400 + 1
+		script := data[2:]
+		entries := mixedEntries(n)
+		key := testSigner(t)
+
+		oneShot, err := NewLog(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oneShot.AppendBatch(entries); err != nil {
+			t.Fatal(err)
+		}
+
+		split, err := NewLog(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, rest := 0, entries; len(rest) > 0; i++ {
+			batch := 1
+			if len(script) > 0 {
+				batch = int(script[i%len(script)]) + 1
+			}
+			if batch > len(rest) {
+				batch = len(rest)
+			}
+			if _, err := split.AppendBatch(rest[:batch]); err != nil {
+				t.Fatal(err)
+			}
+			rest = rest[batch:]
+		}
+
+		size := uint64(n)
+		for level := uint64(0); tileNodeCount(size, level) > 0; level++ {
+			nodes := tileNodeCount(size, level)
+			for index := uint64(0); index*TileWidth < nodes; index++ {
+				width := TileWidth
+				if rem := nodes - index*TileWidth; rem < TileWidth {
+					width = int(rem)
+				}
+				a, err := oneShot.Tile(level, index, width)
+				if err != nil {
+					t.Fatalf("one-shot Tile(%d, %d, %d): %v", level, index, width, err)
+				}
+				b, err := split.Tile(level, index, width)
+				if err != nil {
+					t.Fatalf("split Tile(%d, %d, %d): %v", level, index, width, err)
+				}
+				encA, encB := encodeTile(a), encodeTile(b)
+				if string(encA) != string(encB) {
+					t.Fatalf("tile (%d, %d, %d) bytes depend on batch shape", level, index, width)
+				}
+				back, err := decodeTile(encA)
+				if err != nil {
+					t.Fatalf("tile (%d, %d, %d) does not round-trip: %v", level, index, width, err)
+				}
+				if string(encodeTile(back)) != string(encA) {
+					t.Fatalf("tile (%d, %d, %d) re-encode diverges", level, index, width)
+				}
+			}
+		}
+	})
+}

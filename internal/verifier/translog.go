@@ -33,9 +33,13 @@ func (m *Manager) CredentialProof(serial string) (*translog.ProofBundle, error) 
 
 // CredentialChecker returns the controller-side hook that rejects any
 // client certificate the VM never logged (or whose revocation is logged),
-// verified against the CA public key.
+// verified against the CA public key. Audit paths are assembled from the
+// log's tile read path (with a local expanded-tile cache) instead of
+// per-handshake proof computation, so a burst of TLS handshakes never
+// turns into a burst of O(log n) hashing on the sequencer's tree.
 func (m *Manager) CredentialChecker() func(cert *x509.Certificate) error {
-	return translog.NewCredentialChecker(m.ca.Certificate().PublicKey.(*ecdsa.PublicKey), m.tlog)
+	pub := m.ca.Certificate().PublicKey.(*ecdsa.PublicKey)
+	return translog.NewCredentialChecker(pub, translog.NewLogTileProofSource(m.tlog, 0))
 }
 
 // FlushLog forces any buffered attestation entries into the tree (tests
