@@ -1197,3 +1197,85 @@ func BenchmarkE10_SGXPrimitives(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE20PartitionedWitnessAudit measures the economics the
+// partitioned audit plane exists for: the cost of one witness's full
+// audit pass (head adoption plus per-shard stream verification of its
+// assigned slice) as the fleet grows 16 -> 64 -> 256 hosts. The witness
+// set scales with the fleet while the quorum stays fixed, so each
+// witness's assigned slice — and therefore its per-pass cost — should
+// stay flat, while a full-fleet witness (every shard assigned, the
+// pre-partition deployment model) grows linearly. The scaling verdict
+// with the <=1.5x flatness bound lives in cmd/benchreport (E20).
+func BenchmarkE20PartitionedWitnessAudit(b *testing.B) {
+	const perHost = 16
+	const quorum = 3
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, ok := ca.Signer().Public().(*ecdsa.PublicKey)
+	if !ok {
+		b.Fatal("CA signer is not ECDSA")
+	}
+	for _, hosts := range []int{16, 64, 256} {
+		shards := hosts
+		names := make([]string, hosts/2)
+		for i := range names {
+			names[i] = fmt.Sprintf("w%03d", i)
+		}
+		part, err := translog.NewWitnessPartition(shards, names, quorum)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l, err := translog.NewLog(ca.Signer())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := l.EnableShardStreams(shards); err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]translog.Entry, 0, hosts*perHost)
+		for h := 0; h < hosts; h++ {
+			for i := 0; i < perHost; i++ {
+				batch = append(batch, translog.Entry{
+					Type: translog.EntryAttestOK, Timestamp: int64(len(batch)),
+					Actor: fmt.Sprintf("fw-%d", len(batch)),
+					Host:  fmt.Sprintf("host-%d", h), Detail: "OK",
+				})
+			}
+		}
+		if _, err := l.AppendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		sth := l.STH()
+		fetch := func(a, n uint64) ([]translog.Hash, error) { return l.ConsistencyProof(a, n) }
+		audit := func(assigned []int) error {
+			w := translog.NewWitness(pub)
+			w.SetAssignedShards(shards, assigned)
+			if err := w.Advance(sth, fetch); err != nil {
+				return err
+			}
+			return w.AuditShards(sth, l, 0)
+		}
+		all := make([]int, shards)
+		for i := range all {
+			all[i] = i
+		}
+		b.Run(fmt.Sprintf("hosts=%d/per-witness", hosts), func(b *testing.B) {
+			assigned := part.AssignedShards(names[0])
+			for i := 0; i < b.N; i++ {
+				if err := audit(assigned); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("hosts=%d/full-fleet", hosts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := audit(all); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

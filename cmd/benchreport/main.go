@@ -74,6 +74,7 @@ func main() {
 		{"E17", "Telemetry overhead on the sharded append path (+ live /metrics scrape)", runE17},
 		{"E18", "Checkpointed recovery vs full WAL replay (10^4..10^6 entries)", runE18},
 		{"E19", "Tile-based proof serving vs the per-request proof endpoint (10^6 entries)", runE19},
+		{"E20", "Partitioned witness audit cost vs fleet size (16/64/256 hosts)", runE20},
 	}
 	want := map[string]bool{}
 	if *selected != "" {
@@ -1681,6 +1682,127 @@ func runE19(runs int) (*metrics.Table, error) {
 			fmt.Sprintf("%.0f", float64(time.Second)/float64(r.mean)),
 			r.hitRatio,
 			fmt.Sprintf("%.1f×", speedup),
+			verdict)
+	}
+	return t, nil
+}
+
+// runE20 measures the partitioned audit plane's scaling claim: as the
+// fleet grows 16 -> 64 -> 256 hosts (shards scale with hosts, the
+// witness set scales with the fleet, the quorum stays fixed at 3), one
+// witness's full audit pass over its assigned slice must stay flat —
+// within 1.5x of the 16-host cost — while a full-fleet witness with
+// every shard assigned grows linearly. That flatness is what lets the
+// deployment add hosts without adding per-witness verification burden.
+func runE20(runs int) (*metrics.Table, error) {
+	const perHost = 16
+	const quorum = 3
+	const passesPerRun = 8
+	ca, err := pki.NewCA("bench CA", time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := ca.Signer().Public().(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("CA signer is not ECDSA")
+	}
+
+	fleets := []int{16, 64, 256}
+	type point struct {
+		hosts                 int
+		assigned              int
+		perWitness, fullFleet time.Duration
+	}
+	points := make([]point, 0, len(fleets))
+	for _, hosts := range fleets {
+		shards := hosts
+		names := make([]string, hosts/2)
+		for i := range names {
+			names[i] = fmt.Sprintf("w%03d", i)
+		}
+		part, err := translog.NewWitnessPartition(shards, names, quorum)
+		if err != nil {
+			return nil, err
+		}
+		l, err := translog.NewLog(ca.Signer())
+		if err != nil {
+			return nil, err
+		}
+		if err := l.EnableShardStreams(shards); err != nil {
+			return nil, err
+		}
+		batch := make([]translog.Entry, 0, hosts*perHost)
+		for h := 0; h < hosts; h++ {
+			for i := 0; i < perHost; i++ {
+				batch = append(batch, translog.Entry{
+					Type: translog.EntryAttestOK, Timestamp: int64(len(batch)),
+					Actor: fmt.Sprintf("fw-%d", len(batch)),
+					Host:  fmt.Sprintf("host-%d", h), Detail: "OK",
+				})
+			}
+		}
+		if _, err := l.AppendBatch(batch); err != nil {
+			return nil, err
+		}
+		sth := l.STH()
+		fetch := func(a, n uint64) ([]translog.Hash, error) { return l.ConsistencyProof(a, n) }
+		audit := func(assigned []int) error {
+			w := translog.NewWitness(pub)
+			w.SetAssignedShards(shards, assigned)
+			if err := w.Advance(sth, fetch); err != nil {
+				return err
+			}
+			return w.AuditShards(sth, l, 0)
+		}
+		all := make([]int, shards)
+		for i := range all {
+			all[i] = i
+		}
+		measure := func(assigned []int, label string) (time.Duration, error) {
+			h := metrics.NewHistogram(label)
+			for r := 0; r < runs; r++ {
+				for i := 0; i < passesPerRun; i++ {
+					var aerr error
+					h.Time(func() { aerr = audit(assigned) })
+					if aerr != nil {
+						return 0, fmt.Errorf("%s at %d hosts: %w", label, hosts, aerr)
+					}
+				}
+			}
+			return h.Summarize().Mean, nil
+		}
+		slice := part.AssignedShards(names[0])
+		pw, err := measure(slice, "per-witness")
+		if err != nil {
+			return nil, err
+		}
+		ff, err := measure(all, "full-fleet")
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, point{hosts: hosts, assigned: len(slice), perWitness: pw, fullFleet: ff})
+	}
+
+	base := points[0]
+	t := metrics.NewTable(fmt.Sprintf(
+		"E20 — partitioned witness audit vs fleet size (n=%d, %d passes/run, %d entries/host, Q=%d, witnesses=hosts/2)",
+		runs, passesPerRun, perHost, quorum),
+		"hosts", "assigned shards", "per-witness pass", "vs 16 hosts", "full-fleet pass", "vs 16 hosts", "verdict")
+	for _, p := range points {
+		growth := float64(p.perWitness) / float64(base.perWitness)
+		verdict := ""
+		if p.hosts == fleets[len(fleets)-1] {
+			verdict = "flat <=1.5x (pass)"
+			if growth > 1.5 {
+				verdict = "NOT FLAT"
+			}
+		}
+		t.AddRow(fmt.Sprint(p.hosts),
+			fmt.Sprint(p.assigned),
+			fmt.Sprintf("%.2f ms", float64(p.perWitness)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2f×", growth),
+			fmt.Sprintf("%.2f ms", float64(p.fullFleet)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2f×", float64(p.fullFleet)/float64(base.fullFleet)),
 			verdict)
 	}
 	return t, nil

@@ -11,8 +11,10 @@ import (
 	"crypto/ecdsa"
 	"crypto/tls"
 	"crypto/x509"
+	"errors"
 	"flag"
 	"log"
+	"os"
 	"time"
 
 	"vnfguard/internal/controller"
@@ -116,9 +118,26 @@ func main() {
 				if !ok {
 					log.Fatalf("CA key type %T unsupported for log verification", ca.PublicKey)
 				}
-				source := translog.NewTileProofSource(translog.NewClient(url, caPub), 0)
-				cfg.CredentialLog = translog.NewCredentialChecker(caPub, source)
-				log.Printf("credential log check active: tile-assembled proofs from %s", url)
+				client := translog.NewClient(url, caPub)
+				source := translog.NewTileProofSource(client, 0)
+				// A deployment with a pinned witness partition raises the
+				// bar: a credential proof must chain not just to a
+				// log-signed head but to one that ≥Q partitioned witnesses
+				// audited their shard slices against and co-signed.
+				if pcfg, perr := translog.LoadPartitionConfig(dir); perr == nil {
+					roster, rerr := translog.WaitForWitnessRoster(dir, pcfg.Quorum, pcfg.Witnesses, *wait)
+					if rerr != nil {
+						log.Fatalf("pinned witness partition but no roster keys: %v", rerr)
+					}
+					cfg.CredentialLog = translog.NewQuorumCredentialChecker(caPub, roster, source, source, client.Cosigned)
+					log.Printf("credential log check active: tile-assembled proofs from %s, quorum %d-of-%d co-signed heads required",
+						url, pcfg.Quorum, len(pcfg.Witnesses))
+				} else if !errors.Is(perr, os.ErrNotExist) {
+					log.Fatal(perr)
+				} else {
+					cfg.CredentialLog = translog.NewCredentialChecker(caPub, source)
+					log.Printf("credential log check active: tile-assembled proofs from %s", url)
+				}
 			}
 		}
 	}

@@ -37,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -59,6 +60,9 @@ func main() {
 	seal := flag.Bool("seal", false, "anchor the served log's tree head in an enclave-sealed monotonic counter (serve mode)")
 	shards := flag.Int("shards", 0, "per-host WAL shard count for the served log (serve mode; >1 splits the WAL into per-host segment streams; fixed at store creation)")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0, "write an anchor-verified recovery checkpoint (and compact cold WAL segments into archives) every N committed entries (serve mode; 0 disables)")
+	quorum := flag.Int("quorum", 0, "per-shard witness quorum Q (serve mode; >0 partitions the witness audit plane and serves quorum co-signed heads; requires -witnesses)")
+	witnessShards := flag.Int("witness-shards", 0, "audit-plane shard stream count (serve mode; default: the store shard count, or 1 for an unsharded store; must match the store shard count when both are set)")
+	witnessNames := flag.String("witnesses", "", "comma-separated witness names forming the co-signing roster (serve mode with -quorum; startup waits for each to publish its key)")
 	nvFile := flag.String("sgx-nv", "sgx-nv-log-server.json", "platform NV file for -seal (models fuses+flash; keep it OUTSIDE the state dir)")
 	wait := flag.Duration("wait", 30*time.Second, "how long to wait for shared material")
 	metricsAddr := flag.String("metrics-addr", "127.0.0.1:0", "telemetry listen address (/metrics, /debug/vars, /debug/pprof); empty disables. The endpoint is unauthenticated — keep it loopback-bound.")
@@ -75,7 +79,7 @@ func main() {
 		runMonitor(dir, *logURL, *name, *gossipAddr, *peers, *interval, *wait)
 		return
 	}
-	runServe(dir, *addr, *seal, *nvFile, *shards, *checkpointEvery, *wait)
+	runServe(dir, *addr, *seal, *nvFile, *shards, *checkpointEvery, *quorum, *witnessShards, *witnessNames, *wait)
 }
 
 // caPublicKey loads the deployment's log verification key from the
@@ -96,7 +100,7 @@ func caPublicKey(dir *statedir.Dir, wait time.Duration) *ecdsa.PublicKey {
 	return pub
 }
 
-func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards int, checkpointEvery uint64, wait time.Duration) {
+func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards int, checkpointEvery uint64, quorum, witnessShards int, witnessNames string, wait time.Duration) {
 	caCertPEM, err := dir.WaitFor(statedir.FileCACert, wait)
 	if err != nil {
 		log.Fatalf("run `verification-manager -init` first: %v", err)
@@ -150,6 +154,45 @@ func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards i
 	if err != nil {
 		log.Fatal(err)
 	}
+	// With -quorum the audit plane is partitioned: shard streams are
+	// served so each witness reads only its assigned slice, the partition
+	// shape is pinned into the state directory (every witness derives the
+	// identical deterministic assignment from it), and a co-signature
+	// collector turns ≥Q witness signatures over a head into the quorum
+	// artifact relying parties fetch from /translog/v1/cosigned. The
+	// collector runs beside the log, never under its commit lock.
+	var cosigns *translog.CosignCollector
+	if quorum > 0 {
+		roster := strings.Split(witnessNames, ",")
+		for i := range roster {
+			roster[i] = strings.TrimSpace(roster[i])
+		}
+		roster = slicesNonEmpty(roster)
+		if len(roster) == 0 {
+			log.Fatal("-quorum requires -witnesses naming the co-signing roster")
+		}
+		streamShards := witnessShards
+		if streamShards == 0 {
+			streamShards = max(l.StoreShards(), 1)
+		}
+		if err := l.EnableShardStreams(streamShards); err != nil {
+			log.Fatal(err)
+		}
+		pcfg := translog.PartitionConfig{Shards: streamShards, Quorum: quorum, Witnesses: roster}
+		if err := translog.SavePartitionConfig(dir, pcfg); err != nil {
+			log.Fatal(err)
+		}
+		keys, err := translog.WaitForWitnessRoster(dir, quorum, roster, wait)
+		if err != nil {
+			log.Fatalf("start the partitioned witnesses (log-server -monitor) first: %v", err)
+		}
+		pub, ok := ca.Signer().Public().(*ecdsa.PublicKey)
+		if !ok {
+			log.Fatalf("CA key type %T unsupported for co-signing", ca.Signer().Public())
+		}
+		cosigns = translog.NewCosignCollector(pub, keys)
+		log.Printf("partitioned audit plane active: %d shard streams, quorum %d of %d witnesses", streamShards, quorum, len(roster))
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
@@ -164,10 +207,39 @@ func runServe(dir *statedir.Dir, addr string, seal bool, nvFile string, shards i
 	}
 	log.Printf("transparency log serving at %s (tree size %d, recovered from %s)",
 		url, sth.Size, dir.Path(statedir.DirServerLog))
-	log.Fatal((&http.Server{Handler: translog.Handler(l)}).Serve(ln))
+	handler := http.Handler(translog.Handler(l))
+	if cosigns != nil {
+		mux := http.NewServeMux()
+		ch := translog.CosignHandler(cosigns)
+		mux.Handle("/translog/v1/cosign", ch)
+		mux.Handle("/translog/v1/cosigned", ch)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	log.Fatal((&http.Server{Handler: handler}).Serve(ln))
+}
+
+// slicesNonEmpty drops empty strings from a slice in place.
+func slicesNonEmpty(in []string) []string {
+	out := in[:0]
+	for _, s := range in {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func runMonitor(dir *statedir.Dir, url, name, gossipAddr, peersFlag string, interval, wait time.Duration) {
+	// Publish this witness's co-signing identity before anything blocks:
+	// a quorum-mode log server waits for the whole roster's public keys
+	// before it publishes its URL, and we wait for that URL below — so
+	// announcing the key first is what lets the two startup orders
+	// (witnesses-then-server, server-then-witnesses) both converge.
+	cosignKey, err := translog.OpenWitnessKey(dir, name)
+	if err != nil {
+		log.Fatalf("opening co-signing key: %v", err)
+	}
 	if url == "" {
 		raw, err := dir.WaitFor(statedir.FileLogURL, wait)
 		if err != nil {
@@ -192,6 +264,29 @@ func runMonitor(dir *statedir.Dir, url, name, gossipAddr, peersFlag string, inte
 	// hitting the server's per-request proof endpoint every advance — a
 	// witness fleet's polling load becomes cacheable tile fetches.
 	pool.UseTileProofs(0)
+
+	// A deployment with a pinned witness partition runs this witness in
+	// partitioned mode: audit only the assigned shard streams, gossip the
+	// audit marks, and co-sign heads whose assigned slice checked out. The
+	// log server writes the partition file before publishing its URL, so
+	// having the URL means the pin (when there is one) is readable.
+	if pcfg, err := translog.LoadPartitionConfig(dir); err == nil {
+		part, perr := pcfg.Partition()
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		if len(part.AssignedShards(name)) > 0 {
+			if perr := pool.EnablePartition(part, cosignKey, dir); perr != nil {
+				log.Fatal(perr)
+			}
+			log.Printf("partitioned witness %q: auditing shards %v of %d (quorum %d of %d)",
+				name, part.AssignedShards(name), part.Shards(), part.Quorum(), len(part.Names()))
+		} else {
+			log.Printf("witness %q is outside the pinned partition roster %v; running unpartitioned", name, part.Names())
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		log.Fatal(err)
+	}
 
 	// Serve our side of the gossip protocol and publish where to find it.
 	ln, err := net.Listen("tcp", gossipAddr)

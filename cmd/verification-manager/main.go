@@ -364,6 +364,21 @@ func runWorkflow(dir *statedir.Dir, hostList, enrollList string, learn, requireT
 		if fresh != nil {
 			publishHeadToWitnesses(dir, ca.Certificate().PublicKey.(*ecdsa.PublicKey), *fresh)
 		}
+		// In a partitioned deployment the operators' question is not just
+		// "did the witnesses see the head" but "did a quorum co-sign it":
+		// report where the quorum artifact stands against what we mirrored.
+		if pcfg, perr := translog.LoadPartitionConfig(dir); perr == nil {
+			ch, cerr := client.Cosigned()
+			switch {
+			case errors.Is(cerr, translog.ErrQuorumNotReached):
+				log.Printf("quorum status: no %d-of-%d co-signed head yet (witnesses still auditing their shards)", pcfg.Quorum, len(pcfg.Witnesses))
+			case cerr != nil:
+				log.Printf("quorum status unavailable: %v", cerr)
+			default:
+				log.Printf("quorum status: head at size %d carries %d co-signature(s) (quorum %d-of-%d)",
+					ch.STH.Size, len(ch.Signatures), pcfg.Quorum, len(pcfg.Witnesses))
+			}
+		}
 	}
 	if err := vm.Close(); err != nil {
 		log.Printf("closing transparency log: %v", err)

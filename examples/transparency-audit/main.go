@@ -15,10 +15,13 @@
 // the attacker once more — rewinding the witness state too, total
 // amnesia — and the enclave-sealed monotonic tree head still convicts,
 // because its counter lives in platform hardware, not on any disk. The
-// closing act flips the dependency around: an auditor caches the log's
+// closing acts flip the dependency around: an auditor caches the log's
 // content-addressed Merkle tiles while the server is up, the server is
 // stopped outright, and fresh inclusion proofs still assemble and
-// verify offline from the cache alone.
+// verify offline from the cache alone — and a fleet-scale audit plane
+// partitions eight witnesses over eight shard streams so each verifies
+// only its slice, quorum co-signs the head, and still convicts a
+// single-shard rewind from a shard cursor alone.
 //
 //	go run ./examples/transparency-audit
 package main
@@ -285,6 +288,18 @@ func main() {
 	fmt.Println("--- tile-based proofs: auditing from cache after the server is gone ---")
 	runTileAct(d.VM.CA().Signer(), logKey)
 
+	// 11. The audit plane at fleet scale: every act so far had each
+	//     witness verify the whole log. Here the witness set is
+	//     partitioned — 8 witnesses, 8 shard streams, each witness
+	//     auditing 3 — heads only count once a quorum of witnesses
+	//     co-signs them, and a rewind of a single host's shard stream is
+	//     convicted by an assigned witness's audit cursor alone, while a
+	//     witness NOT assigned that shard stays clean (ignorance is not
+	//     evidence).
+	fmt.Println()
+	fmt.Println("--- partitioned witnesses: 8 auditors, 3 shards each, quorum co-signed heads ---")
+	runPartitionAct(d.VM.CA().Signer(), logKey)
+
 	// Final scrape: the acts between the scrapes appended more entries,
 	// committed more anchors and ran gossip rounds — the series must have
 	// increased, exactly what an operator's alerting would watch.
@@ -292,13 +307,14 @@ func main() {
 	appendedEnd := seriesValue(body, "translog_appended_entries_total")
 	anchorsEnd := seriesValue(body, `translog_anchor_commit_seconds_count{anchor="statedir-sth"}`)
 	gossipEnd := seriesValue(body, "translog_gossip_exchanges_total")
-	if appendedEnd <= appendedMid || anchorsEnd <= anchorsMid || gossipEnd <= 0 {
-		log.Fatalf("final /metrics scrape did not advance: appended %v→%v anchors %v→%v gossip=%v",
-			appendedMid, appendedEnd, anchorsMid, anchorsEnd, gossipEnd)
+	cosignEnd := seriesValue(body, "translog_cosign_signatures_total")
+	if appendedEnd <= appendedMid || anchorsEnd <= anchorsMid || gossipEnd <= 0 || cosignEnd <= 0 {
+		log.Fatalf("final /metrics scrape did not advance: appended %v→%v anchors %v→%v gossip=%v cosign=%v",
+			appendedMid, appendedEnd, anchorsMid, anchorsEnd, gossipEnd, cosignEnd)
 	}
 	fmt.Println()
-	fmt.Printf("final /metrics scrape: appended %.0f→%.0f, anchor commits %.0f→%.0f, %.0f gossip exchanges — all increasing ✓\n",
-		appendedMid, appendedEnd, anchorsMid, anchorsEnd, gossipEnd)
+	fmt.Printf("final /metrics scrape: appended %.0f→%.0f, anchor commits %.0f→%.0f, %.0f gossip exchanges, %.0f co-signatures — all increasing ✓\n",
+		appendedMid, appendedEnd, anchorsMid, anchorsEnd, gossipEnd, cosignEnd)
 	if path := os.Getenv("METRICS_SNAPSHOT"); path != "" {
 		//lint:allow atomicwrite diagnostic snapshot for the operator, regenerated every run; losing it in a crash costs nothing
 		check(os.WriteFile(path, []byte(body), 0o644))
@@ -763,6 +779,199 @@ func runTileAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
 	hits, misses := asm.Stats()
 	fmt.Printf("offline: 5 fresh inclusion proofs assembled from cached tiles and verified (%d tile hits, %d fetches, all while online) ✓\n", hits, misses)
 	fmt.Println("  the cache carries no trust: a wrong tile can only fail verification, never forge a proof ✓")
+}
+
+// runPartitionAct scales the audit plane to the fleet. The write plane
+// already shards (act 9); here the witness set shards to match: a
+// pinned partition assigns each of 8 witnesses 3 of the 8 host shard
+// streams (every shard covered by a quorum of 3), each witness audits
+// only its slice entry-by-entry against the served head, and heads only
+// become trustworthy once ≥3 roster witnesses co-sign them. The attack
+// act: a rewind that erases one host's recent entries — and the
+// conviction comes from a witness whose ONLY surviving memory is its
+// shard audit cursor, while a witness not assigned that shard exchanges
+// cleanly, because ignorance of a shard is not evidence.
+func runPartitionAct(signer crypto.Signer, logKey *ecdsa.PublicKey) {
+	logDir, err := os.MkdirTemp("", "vnfguard-partition-log-")
+	check(err)
+	defer os.RemoveAll(logDir)
+	sharedDir, err := os.MkdirTemp("", "vnfguard-partition-state-")
+	check(err)
+	defer os.RemoveAll(sharedDir)
+	shared, err := statedir.Open(sharedDir)
+	check(err)
+
+	// The sharded durable store from act 9, now with per-shard stream
+	// reads enabled so witnesses can audit one shard without paying for
+	// the rest.
+	const shards = 8
+	cfg := translog.StoreConfig{Shards: shards, SegmentMaxBytes: 4096}
+	l, err := translog.OpenDurableLog(signer, logDir, cfg)
+	check(err)
+	check(l.EnableShardStreams(shards))
+	appendFleet := func(l *translog.Log, host string, from, to int) {
+		var batch []translog.Entry
+		for i := from; i < to; i++ {
+			batch = append(batch, translog.Entry{
+				Type: translog.EntryAttestOK, Timestamp: time.Now().UnixMilli(),
+				Actor: fmt.Sprintf("fw-%s-%d", host, i), Host: host, Detail: "appraisal OK",
+			})
+		}
+		_, err := l.AppendBatch(batch)
+		check(err)
+	}
+	const hosts, perHost = 8, 40
+	for h := 0; h < hosts; h++ {
+		appendFleet(l, fmt.Sprintf("host-%d", h), 0, perHost)
+	}
+
+	// Every witness publishes its co-signing key into the shared
+	// statedir; the roster (Q=3 of 8) and the cosign collector are what
+	// the log server runs with -quorum 3.
+	names := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	keys := make(map[string]*translog.WitnessKey, len(names))
+	for _, name := range names {
+		keys[name], err = translog.OpenWitnessKey(shared, name)
+		check(err)
+	}
+	roster, err := translog.LoadWitnessRoster(shared, 3)
+	check(err)
+	col := translog.NewCosignCollector(logKey, roster)
+
+	// The deployment pins ONE partition shape; every witness (and every
+	// witness restart) derives the same assignment from it.
+	check(translog.SavePartitionConfig(shared, translog.PartitionConfig{Shards: shards, Quorum: 3, Witnesses: names}))
+	pcfg, err := translog.LoadPartitionConfig(shared)
+	check(err)
+	part, err := pcfg.Partition()
+	check(err)
+
+	// Serve the log with the cosign endpoints mounted, exactly as
+	// cmd/log-server composes them.
+	served := &servedLog{log: l}
+	mux := http.NewServeMux()
+	cosignH := translog.CosignHandler(col)
+	mux.Handle("/translog/v1/cosign", cosignH)
+	mux.Handle("/translog/v1/cosigned", cosignH)
+	mux.Handle("/", served)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	defer ln.Close()
+	go http.Serve(ln, mux)
+	logURL := "http://" + ln.Addr().String()
+	client := translog.NewClient(logURL, logKey)
+
+	newPool := func(name string) *translog.GossipPool {
+		w, err := translog.OpenWitnessState(shared, name, logKey)
+		check(err)
+		p := translog.NewGossipPool(name, w, translog.NewClient(logURL, logKey))
+		check(p.EnablePartition(part, keys[name], shared))
+		return p
+	}
+	pools := make([]*translog.GossipPool, len(names))
+	for i, name := range names {
+		pools[i] = newPool(name)
+	}
+	fmt.Printf("%d witnesses over %d shard streams, each auditing %d (e.g. %s → shards %v)\n",
+		len(names), shards, len(part.AssignedShards(names[0])), names[0], part.AssignedShards(names[0]))
+
+	// Two witnesses finishing their slices is not a quorum: relying
+	// parties asking for the co-signed head are refused with a sentinel.
+	check(pools[0].Exchange())
+	check(pools[1].Exchange())
+	if _, err := client.Cosigned(); !errors.Is(err, translog.ErrQuorumNotReached) {
+		log.Fatalf("2 of 3 required co-signatures should not make a quorum: %v", err)
+	}
+	fmt.Println("2 witnesses co-signed: below quorum, co-signed head REFUSED ✓ (no single witness is a trust bottleneck — and no pair either)")
+
+	for _, p := range pools[2:] {
+		check(p.Exchange())
+	}
+	cosigned, err := client.Cosigned()
+	check(err)
+	check(cosigned.Verify(logKey, roster))
+	total := l.Size()
+	audited := uint64(0)
+	for _, s := range part.AssignedShards(names[0]) {
+		n, _, err := client.ShardStream(s, 0, 1)
+		check(err)
+		audited += n
+	}
+	fmt.Printf("quorum reached: head at size %d carries %d co-signatures (Q=%d), artifact verifies against the roster ✓\n",
+		cosigned.STH.Size, len(cosigned.Signatures), roster.Quorum())
+	fmt.Printf("  per-witness economy: %s vouched for the full head after verifying %d of %d entries — its slice, not the fleet ✓\n",
+		names[0], audited, total)
+
+	// A relying party pins the artifact like any trust anchor: accepted
+	// quorum heads can only move forward, and an equal-size different
+	// root is split-view evidence.
+	anchor := translog.NewQuorumWitnessAnchor(shared, "relying-party", logKey, roster)
+	check(anchor.Accept(cosigned))
+
+	// The attacker's snapshot, then one host keeps working: 10 more
+	// verdicts for host-3 land in exactly one shard stream.
+	snap, err := snapshotFiles(logDir)
+	check(err)
+	victim := "host-3"
+	victimShard := translog.ShardOf(victim, shards)
+	appendFleet(l, victim, perHost, perHost+10)
+	for _, p := range pools {
+		check(p.Exchange())
+	}
+	grown, err := client.Cosigned()
+	check(err)
+	check(anchor.Accept(grown))
+	fmt.Printf("%s appended 10 more verdicts (shard %d): quorum co-signed head advanced to size %d, anchor moved forward ✓\n",
+		victim, victimShard, grown.STH.Size)
+
+	// The rewind: restore the snapshot — WAL streams and signed head
+	// together, a consistent state that reopens cleanly — erasing only
+	// host-3's recent entries.
+	check(l.Close())
+	check(restoreFiles(logDir, snap))
+	rolled, err := translog.OpenDurableLog(signer, logDir, cfg)
+	check(err)
+	defer rolled.Close()
+	check(rolled.EnableShardStreams(shards))
+	served.swap(rolled)
+	fmt.Printf("statedir rewound to size %d and restarted: locally clean, %s's last 10 verdicts erased\n", rolled.Size(), victim)
+
+	// Amnesiac conviction, shard edition: erase the head memory of a
+	// witness assigned the victim shard, keeping ONLY its audit cursors.
+	// It re-anchors on the rewritten head without complaint — and then
+	// its own cursor convicts: the shard stream it audited to 50 entries
+	// now serves 40.
+	amnName := part.WitnessesFor(victimShard)[0]
+	check(os.Remove(filepath.Join(sharedDir, fmt.Sprintf("witness-%s-head.json", amnName))))
+	amnesiac := newPool(amnName)
+	err = amnesiac.Exchange()
+	var ce *translog.ConflictError
+	if !errors.As(err, &ce) || !errors.Is(err, translog.ErrRollback) || amnesiac.Conflict() == nil {
+		log.Fatalf("assigned witness failed to convict the shard rewind: %v", err)
+	}
+	check(ce.Verify(logKey))
+	fmt.Printf("amnesiac witness %s (assigned shard %d, only its audit cursor survived): ROLLBACK convicted ✓\n", amnName, victimShard)
+	fmt.Printf("  evidence: %s — signed heads verify under the CA key, the conviction is portable ✓\n", ce.Detail)
+
+	// The false-conviction control: a witness NOT assigned the victim
+	// shard, amnesia'd the same way, exchanges cleanly. Its slice is
+	// intact, and under partitioning a witness ignorant of a shard is
+	// never treated as evidence about it.
+	cleanName := ""
+	for _, name := range names {
+		if !part.Covers(name, victimShard) {
+			cleanName = name
+			break
+		}
+	}
+	check(os.Remove(filepath.Join(sharedDir, fmt.Sprintf("witness-%s-head.json", cleanName))))
+	clean := newPool(cleanName)
+	check(clean.Exchange())
+	if clean.Conflict() != nil {
+		log.Fatalf("witness %s is not assigned shard %d but convicted anyway: %v", cleanName, victimShard, clean.Conflict())
+	}
+	fmt.Printf("witness %s (NOT assigned shard %d): clean exchange, no false conviction ✓ — each witness testifies only about its slice\n",
+		cleanName, victimShard)
 }
 
 func check(err error) {

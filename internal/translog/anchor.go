@@ -248,3 +248,153 @@ func (a *WitnessAnchor) CommitHead(sth SignedTreeHead) error {
 	a.mu.Unlock()
 	return nil
 }
+
+// ---- quorum witness anchor ------------------------------------------------
+
+// witnessCosignedFile is the statedir entry a QuorumWitnessAnchor (and
+// any party pinning quorum artifacts) persists CosignedHeads under.
+func witnessCosignedFile(name string) string { return "witness-" + name + "-cosigned.json" }
+
+// QuorumWitnessAnchor anchors the log on the persisted quorum artifact:
+// the newest CosignedHead — head plus ≥Q witness co-signatures verified
+// against the pinned roster — this deployment accepted. It subsumes the
+// single-witness anchor's rollback protection (every committed head is
+// persisted, co-signed or not) and adds the partitioned trust model: a
+// recovery contradicting a head Q distinct partial auditors stood
+// behind is convicting evidence against the whole store, not one
+// witness's word.
+type QuorumWitnessAnchor struct {
+	dir    *statedir.Dir
+	entry  string
+	pub    *ecdsa.PublicKey
+	roster *WitnessRoster
+
+	mu   sync.Mutex
+	last CosignedHead
+	seen bool
+}
+
+// NewQuorumWitnessAnchor returns an anchor persisting quorum artifacts
+// under witness name in dir, verified against the log public key and the
+// pinned witness roster.
+func NewQuorumWitnessAnchor(dir *statedir.Dir, name string, pub *ecdsa.PublicKey, roster *WitnessRoster) *QuorumWitnessAnchor {
+	return &QuorumWitnessAnchor{dir: dir, entry: witnessCosignedFile(name), pub: pub, roster: roster}
+}
+
+// Name implements TrustAnchor.
+func (a *QuorumWitnessAnchor) Name() string { return "quorum-witness" }
+
+// CheckRecovery verifies the recovered state against the persisted
+// artifact: the head signature must verify, every witness co-signature
+// present must verify against the roster (a crash between commit and
+// quorum legitimately leaves zero — quorum is not re-required here, but
+// forged signatures are tampering), the state must cover at least the
+// remembered size, and the covered prefix must hash to the remembered
+// root.
+func (a *QuorumWitnessAnchor) CheckRecovery(state *RecoveredState) error {
+	data, err := a.dir.Read(a.entry)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first run: nothing remembered yet
+	}
+	if err != nil {
+		return fmt.Errorf("translog: reading quorum anchor head: %w", err)
+	}
+	var ch CosignedHead
+	if err := json.Unmarshal(data, &ch); err != nil {
+		return fmt.Errorf("%w: quorum anchor head undecodable: %v", ErrStateCorrupt, err)
+	}
+	if err := ch.STH.Verify(a.pub); err != nil {
+		return fmt.Errorf("%w: quorum anchor head signature invalid", ErrStateTampered)
+	}
+	for _, ws := range ch.Signatures {
+		pub, ok := a.roster.Key(ws.Witness)
+		if !ok {
+			return fmt.Errorf("%w: quorum anchor carries a co-signature by %q outside the roster", ErrStateTampered, ws.Witness)
+		}
+		if ws.Size != ch.STH.Size || ws.RootHash != ch.STH.RootHash || ws.Verify(pub) != nil {
+			return fmt.Errorf("%w: quorum anchor co-signature by %q invalid", ErrStateTampered, ws.Witness)
+		}
+	}
+	if state.Size < ch.STH.Size {
+		return fmt.Errorf("%w: %d durable entries but quorum anchor remembers a signed head covering %d",
+			ErrStateRollback, state.Size, ch.STH.Size)
+	}
+	root, err := state.RootAt(ch.STH.Size)
+	if err != nil {
+		return err
+	}
+	if root != ch.STH.RootHash {
+		return fmt.Errorf("%w: recomputed root at size %d does not match quorum anchor head",
+			ErrStateTampered, ch.STH.Size)
+	}
+	a.mu.Lock()
+	a.last, a.seen = ch, true
+	a.mu.Unlock()
+	return nil
+}
+
+// CommitHead persists the newly committed head with an empty signature
+// set, never moving backwards and never discarding co-signatures already
+// recorded for the same head. The co-signatures arrive asynchronously
+// through Accept — rollback protection must not wait for them.
+func (a *QuorumWitnessAnchor) CommitHead(sth SignedTreeHead) error {
+	return a.record(CosignedHead{STH: sth})
+}
+
+// Accept records a verified quorum artifact. A head older than the
+// remembered one is ignored; a *different root at the remembered size*
+// is split-view evidence — the log showed the quorum one tree and this
+// deployment another — and comes back as the self-certifying
+// *ConflictError it is.
+func (a *QuorumWitnessAnchor) Accept(ch *CosignedHead) error {
+	if err := ch.Verify(a.pub, a.roster); err != nil {
+		return err
+	}
+	return a.record(*ch)
+}
+
+// record is the shared never-backwards persist path. At equal size it
+// keeps whichever entry carries more co-signatures and convicts on
+// diverging roots.
+func (a *QuorumWitnessAnchor) record(ch CosignedHead) error {
+	a.mu.Lock()
+	if a.seen {
+		if ch.STH.Size < a.last.STH.Size {
+			a.mu.Unlock()
+			return nil
+		}
+		if ch.STH.Size == a.last.STH.Size {
+			if ch.STH.RootHash != a.last.STH.RootHash {
+				have := a.last.STH
+				a.mu.Unlock()
+				return &ConflictError{
+					Kind: ErrSplitView, Have: have, Got: ch.STH,
+					Detail: "quorum anchor holds a different root at this size",
+				}
+			}
+			if len(ch.Signatures) <= len(a.last.Signatures) {
+				a.mu.Unlock()
+				return nil
+			}
+		}
+	}
+	a.mu.Unlock()
+	data, err := json.Marshal(ch)
+	if err != nil {
+		return err
+	}
+	if err := a.dir.Write(a.entry, data); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.last, a.seen = ch, true
+	a.mu.Unlock()
+	return nil
+}
+
+// Last returns the remembered artifact and whether one exists.
+func (a *QuorumWitnessAnchor) Last() (CosignedHead, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.last, a.seen
+}

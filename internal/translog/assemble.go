@@ -244,5 +244,13 @@ func (ts *TileProofSource) ProveSerial(serial string) (*ProofBundle, error) {
 	return pb, nil
 }
 
+// ConsistencyProof assembles the proof that size first is a prefix of
+// size second from tiles (a ConsistencyProver) — what the quorum
+// credential checker uses to bridge a proof bundle's head to the quorum
+// co-signed head without another server-computed proof.
+func (ts *TileProofSource) ConsistencyProof(first, second uint64) ([]Hash, error) {
+	return ts.asm.ConsistencyProof(first, second)
+}
+
 // Stats reports the underlying assembler's tile-cache hits and misses.
 func (ts *TileProofSource) Stats() (hits, misses uint64) { return ts.asm.Stats() }

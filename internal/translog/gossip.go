@@ -26,6 +26,10 @@ import (
 // name persists its last-accepted signed tree head.
 func witnessHeadFile(name string) string { return "witness-" + name + "-head.json" }
 
+// witnessCursorFile returns the statedir entry name under which witness
+// name persists its shard-audit cursors (EnablePartition).
+func witnessCursorFile(name string) string { return "witness-" + name + "-shards.json" }
+
 // OpenWitnessState returns a witness whose last-accepted head is durably
 // persisted in dir (statedir.Dir.Write is atomic, so readers never see a
 // torn head). A previously persisted head is restored — signature-checked
@@ -80,7 +84,21 @@ type GossipPool struct {
 	peers    []*Client
 	conflict *ConflictError
 	jitter   JitterSource
+
+	// Partitioned mode (EnablePartition): the pinned assignment, this
+	// witness's co-signing key (nil: audit without co-signing), the
+	// audit batch bound per shard per round, and the largest head size
+	// already co-signed and submitted.
+	part         *WitnessPartition
+	key          *WitnessKey
+	maxAudit     uint64
+	cosignedSize uint64
 }
+
+// defaultMaxAuditPerShard bounds how many stream entries one gossip
+// round audits per assigned shard, so a witness catching up on a long
+// history spreads the work over rounds instead of stalling one.
+const defaultMaxAuditPerShard = 4096
 
 // NewGossipPool builds a pool for witness w (named for evidence
 // attribution) watching the log served by logClient.
@@ -101,6 +119,88 @@ func (g *GossipPool) UseTileProofs(cacheTiles int) {
 	if g.log != nil {
 		g.tiles = NewTileAssembler(g.log, cacheTiles)
 	}
+}
+
+// EnablePartition switches the pool into partitioned-audit mode: the
+// witness takes its assigned slice of the shard streams from the pinned
+// partition, audits exactly that slice entry-by-entry on every
+// exchange, gossips its audit cursors alongside its head, and — when
+// key is non-nil — co-signs every fully audited head and submits the
+// signature to the watched log's cosign collector. dir, when non-nil,
+// persists the audit cursors under the witness's name so a restart
+// resumes its chains instead of re-anchoring them (the shard-level
+// equivalent of OpenWitnessState). The pool must be watching a log
+// (NewGossipPool with a client); the partition must know this witness.
+func (g *GossipPool) EnablePartition(p *WitnessPartition, key *WitnessKey, dir *statedir.Dir) error {
+	if g.log == nil {
+		return errors.New("translog: partitioned audit needs a log to watch")
+	}
+	assigned := p.AssignedShards(g.name)
+	if len(assigned) == 0 {
+		return fmt.Errorf("%w: witness %q is not in the partition", ErrPartitionInvalid, g.name)
+	}
+	if key != nil && key.Name() != g.name {
+		return fmt.Errorf("%w: co-signing key is for %q, pool is %q", ErrPartitionInvalid, key.Name(), g.name)
+	}
+	g.w.SetAssignedShards(p.Shards(), assigned)
+	if dir != nil {
+		entry := witnessCursorFile(g.name)
+		data, err := dir.Read(entry)
+		switch {
+		case err == nil:
+			if err := g.w.restoreCursors(data); err != nil {
+				return err
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to restore.
+		default:
+			return fmt.Errorf("translog: reading persisted shard cursors: %w", err)
+		}
+		g.w.mu.Lock()
+		g.w.saveCursors = func(data []byte) error { return dir.Write(entry, data) }
+		g.w.mu.Unlock()
+	}
+	g.mu.Lock()
+	g.part, g.key = p, key
+	if g.maxAudit == 0 {
+		g.maxAudit = defaultMaxAuditPerShard
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// Partition returns the pinned partition in effect (nil: full-fleet
+// mode).
+func (g *GossipPool) Partition() *WitnessPartition {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.part
+}
+
+// auditSource composes the shard-audit read path: stream slices always
+// come from the watched log's shard endpoint; inclusion proofs ride the
+// tile assembler when UseTileProofs is on, so the per-entry audit
+// fan-out hits the cacheable tile path instead of the proof endpoint.
+func (g *GossipPool) auditSource() ShardAuditSource {
+	if g.tiles != nil {
+		return &tileShardSource{stream: g.log, proofs: g.tiles}
+	}
+	return g.log
+}
+
+// tileShardSource is a ShardAuditSource splitting streams and proofs
+// across transports.
+type tileShardSource struct {
+	stream *Client
+	proofs *TileAssembler
+}
+
+func (t *tileShardSource) ShardStream(shard int, start, count uint64) (uint64, []IndexedEntry, error) {
+	return t.stream.ShardStream(shard, start, count)
+}
+
+func (t *tileShardSource) InclusionProof(index, size uint64) ([]Hash, error) {
+	return t.proofs.InclusionProof(index, size)
 }
 
 // Name returns the pool's witness name.
@@ -182,6 +282,36 @@ func (g *GossipPool) ReceiveHead(peer SignedTreeHead) (SignedTreeHead, bool, err
 	return last, seen, err
 }
 
+// receiveView is ReceiveHead plus the partitioned-audit extras: the
+// peer's shard marks are judged against our own chains (only where our
+// assignment overlaps and depths match — a peer ignorant of a shard is
+// never evidence) and our marks travel back in the response.
+func (g *GossipPool) receiveView(in wireGossip) (wireGossip, error) {
+	var errs []error
+	if in.Seen {
+		if err := g.mergeHead(in.Head); err != nil {
+			errs = append(errs, err)
+		}
+		if len(in.Marks) > 0 && g.Partition() != nil {
+			if err := g.latch(g.w.mergeShardMarks(in.Name, in.Head, in.Marks)); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return g.localView(), errors.Join(errs...)
+}
+
+// localView snapshots this witness's gossiped view: head plus, in
+// partitioned mode, its audit marks.
+func (g *GossipPool) localView() wireGossip {
+	last, seen := g.w.Last()
+	out := wireGossip{Name: g.name, Seen: seen, Head: last}
+	if g.Partition() != nil {
+		out.Marks = g.w.shardMarks()
+	}
+	return out
+}
+
 // mergeHead is the shared merge path for heads learned from peers. The
 // signature is verified exactly once here, at the trust boundary; the
 // witness merge below runs on the pre-verified head.
@@ -245,11 +375,15 @@ func (g *GossipPool) Exchange() error {
 			}
 		}
 	}
+	if g.Partition() != nil {
+		if err := g.auditAndCosign(); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	peers := g.Peers()
 	mGossipPeers.Set(int64(len(peers)))
 	for _, p := range peers {
-		last, seen := g.w.Last()
-		head, ok, err := p.ExchangeGossip(g.name, last, seen)
+		peerView, err := p.exchangeView(g.localView())
 		if err != nil {
 			// A 409 from the peer is a conviction claim, which must be
 			// corroborated before it can latch; transport errors are just
@@ -263,11 +397,16 @@ func (g *GossipPool) Exchange() error {
 			}
 			continue
 		}
-		if !ok {
+		if !peerView.Seen {
 			continue
 		}
-		if err := g.mergeHead(head); err != nil {
+		if err := g.mergeHead(peerView.Head); err != nil {
 			errs = append(errs, err)
+		}
+		if len(peerView.Marks) > 0 && g.Partition() != nil {
+			if err := g.latch(g.w.mergeShardMarks(peerView.Name, peerView.Head, peerView.Marks)); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	err := errors.Join(errs...)
@@ -278,6 +417,77 @@ func (g *GossipPool) Exchange() error {
 	mGossipSeconds.Observe(time.Since(start))
 	mGossipLast.Mark()
 	return err
+}
+
+// auditAndCosign runs the partitioned half of an exchange: verify the
+// assigned shard streams against the adopted head, and — when the
+// streams are fully audited up to it and a co-signing key is held —
+// submit this witness's co-signature to the watched log's collector.
+func (g *GossipPool) auditAndCosign() error {
+	last, seen := g.w.Last()
+	if !seen {
+		return nil
+	}
+	g.mu.Lock()
+	maxAudit := g.maxAudit
+	key := g.key
+	g.mu.Unlock()
+	if err := g.latch(g.w.AuditShards(last, g.auditSource(), maxAudit)); err != nil {
+		return err
+	}
+	if key == nil {
+		return nil
+	}
+	g.mu.Lock()
+	already := last.Size <= g.cosignedSize && g.cosignedSize != 0
+	g.mu.Unlock()
+	if already || !g.auditCaughtUp(last) {
+		return nil
+	}
+	ws, err := key.Cosign(last)
+	if err != nil {
+		return err
+	}
+	cosignStart := time.Now()
+	_, err = g.log.SubmitCosign(last, ws)
+	mCosignSeconds.Observe(time.Since(cosignStart))
+	if err != nil && !errors.Is(err, ErrDuplicateWitness) {
+		// An equivocation or split-view verdict in the reply is latched
+		// like any conviction; duplicates just mean a retried round.
+		return g.latch(err)
+	}
+	g.mu.Lock()
+	if last.Size > g.cosignedSize || g.cosignedSize == 0 {
+		g.cosignedSize = last.Size
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// auditCaughtUp reports whether every assigned shard's cursor has
+// audited all stream entries the head covers — the precondition for
+// co-signing it: a witness must never vouch for entries it has not
+// verified.
+func (g *GossipPool) auditCaughtUp(head SignedTreeHead) bool {
+	src := g.auditSource()
+	for _, s := range g.w.AssignedShards() {
+		g.w.mu.Lock()
+		cur := g.w.cursors[s]
+		count := uint64(0)
+		if cur != nil {
+			count = cur.Count
+		}
+		g.w.mu.Unlock()
+		total, ents, err := src.ShardStream(s, count, 1)
+		if err != nil {
+			return false
+		}
+		if count < total && len(ents) > 0 && ents[0].Index < head.Size {
+			// An unaudited stream entry below the head remains.
+			return false
+		}
+	}
+	return true
 }
 
 // JitterSource yields uniform samples in [0, 1) for exchange-loop

@@ -27,6 +27,13 @@ const (
 	// pathTile is the tile subtree: GET {level}/{index} for a full tile,
 	// GET {level}/{index}.p/{width} for a partial right-edge tile.
 	pathTile = "/translog/v1/tile/"
+	// pathShard serves per-shard stream slices for the partitioned
+	// witness audit; pathCosign/pathCosigned are the co-signing
+	// protocol: witnesses POST signatures, relying parties GET the
+	// newest quorum artifact.
+	pathShard    = "/translog/v1/shard"
+	pathCosign   = "/translog/v1/cosign"
+	pathCosigned = "/translog/v1/cosigned"
 )
 
 // Cache-Control values. Everything a tile-based log serves is either
@@ -126,6 +133,29 @@ func Handler(l *Log) http.Handler {
 	})
 	mux.HandleFunc("GET "+pathTile, func(w http.ResponseWriter, r *http.Request) {
 		serveTile(l, w, r)
+	})
+	mux.HandleFunc("GET "+pathShard, func(w http.ResponseWriter, r *http.Request) {
+		shard, err0 := queryUint(r, "shard")
+		start, err1 := queryUint(r, "start")
+		count, err2 := queryUint(r, "count")
+		if err0 != nil || err1 != nil || err2 != nil {
+			http.Error(w, "bad shard/start/count", http.StatusBadRequest)
+			return
+		}
+		total, entries, err := l.ShardStream(int(shard), start, count)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		// A fully satisfied slice is named by content — the shard stream
+		// is a filtered view of an append-only sequence — and may be
+		// cached forever; a clamped slice grows on the next append.
+		if count > 0 && uint64(len(entries)) == count {
+			w.Header().Set("Cache-Control", cacheImmutable)
+		} else {
+			w.Header().Set("Cache-Control", cacheNoCache)
+		}
+		writeJSON(w, wireShardStream{Total: total, Entries: entries})
 	})
 	mux.HandleFunc("GET "+pathInclusion, func(w http.ResponseWriter, r *http.Request) {
 		index, err1 := queryUint(r, "index")
@@ -290,12 +320,29 @@ func serveTile(l *Log, w http.ResponseWriter, r *http.Request) {
 }
 
 // wireGossip carries one witness's view on the gossip wire: its name (for
-// evidence attribution in logs) and last-accepted head. Seen is false for
-// a witness that has not anchored yet.
+// evidence attribution in logs), last-accepted head and — in partitioned
+// mode — the audit marks over its assigned shard streams. A witness
+// carrying no mark for a shard is making no claim about it; absence is
+// ignorance, never testimony (see Witness.mergeShardMarks).
 type wireGossip struct {
-	Name string         `json:"name,omitempty"`
-	Seen bool           `json:"seen"`
-	Head SignedTreeHead `json:"head"`
+	Name  string          `json:"name,omitempty"`
+	Seen  bool            `json:"seen"`
+	Head  SignedTreeHead  `json:"head"`
+	Marks []wireShardMark `json:"marks,omitempty"`
+}
+
+// wireShardMark is one audited shard cursor on the gossip wire.
+type wireShardMark struct {
+	Shard int    `json:"shard"`
+	Count uint64 `json:"count"`
+	Mark  Hash   `json:"mark"`
+}
+
+// wireShardStream is the shard endpoint's response: the stream's total
+// length plus the requested slice.
+type wireShardStream struct {
+	Total   uint64         `json:"total"`
+	Entries []IndexedEntry `json:"entries"`
 }
 
 // wireConflict decodes the HTTP 409 body: a serialised ConflictError
@@ -317,6 +364,98 @@ func (wc wireConflict) toError() *ConflictError {
 	return &ConflictError{Kind: kind, Detail: wc.Detail, Have: wc.Have, Got: wc.Got}
 }
 
+// wireCosign is the cosign endpoint's request: the served head plus one
+// witness co-signature over it.
+type wireCosign struct {
+	STH SignedTreeHead   `json:"sth"`
+	Sig WitnessSignature `json:"sig"`
+}
+
+// wireCosignAck acknowledges an accepted co-signature: how many distinct
+// witnesses have signed at that size, against the quorum required.
+type wireCosignAck struct {
+	Count  int `json:"count"`
+	Quorum int `json:"quorum"`
+}
+
+// wireCosignReject is the 400 body for a co-signature the collector
+// refused. Code travels so the client surfaces the same errors.Is-able
+// verdict the collector raised instead of a flattened status string.
+type wireCosignReject struct {
+	Code  string `json:"code"` // "bad-sth" | "cosign-invalid" | "unknown-witness" | "duplicate-witness"
+	Error string `json:"error"`
+}
+
+func (rej wireCosignReject) toError() error {
+	var sentinel error
+	switch rej.Code {
+	case "bad-sth":
+		sentinel = ErrBadSTH
+	case "unknown-witness":
+		sentinel = ErrUnknownWitness
+	case "duplicate-witness":
+		sentinel = ErrDuplicateWitness
+	default:
+		sentinel = ErrCosignInvalid
+	}
+	return fmt.Errorf("%w: %s", sentinel, rej.Error)
+}
+
+// cosignRejectCode labels a collector rejection for the wire;
+// ok reports whether the error is a 400-class rejection at all.
+func cosignRejectCode(err error) (string, bool) {
+	switch {
+	case errors.Is(err, ErrBadSTH):
+		return "bad-sth", true
+	case errors.Is(err, ErrUnknownWitness):
+		return "unknown-witness", true
+	case errors.Is(err, ErrDuplicateWitness):
+		return "duplicate-witness", true
+	case errors.Is(err, ErrCosignInvalid):
+		return "cosign-invalid", true
+	}
+	return "", false
+}
+
+// equivocationKind discriminates an EquivocationError 409 body from a
+// ConflictError one; both carry a "kind" field, the conflict kinds being
+// "rollback" and "split-view".
+const equivocationKind = "witness-equivocation"
+
+// wireEquivocation is the 409 body for witness equivocation: the two
+// co-signatures that convict by signature alone.
+type wireEquivocation struct {
+	Kind    string           `json:"kind"` // equivocationKind
+	Witness string           `json:"witness"`
+	A       WitnessSignature `json:"a"`
+	B       WitnessSignature `json:"b"`
+}
+
+// decodeCosignConflict maps a cosign 409 body to the evidence error it
+// carries: an *EquivocationError (the caller verifies it against its
+// pinned roster — the reporting server is not trusted) or a
+// *ConflictError.
+func decodeCosignConflict(data []byte) error {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("translog client: cosign conflict undecodable: %w", err)
+	}
+	if probe.Kind == equivocationKind {
+		var we wireEquivocation
+		if err := json.Unmarshal(data, &we); err != nil {
+			return fmt.Errorf("translog client: cosign conflict undecodable: %w", err)
+		}
+		return &EquivocationError{Witness: we.Witness, A: we.A, B: we.B}
+	}
+	var wc wireConflict
+	if err := json.Unmarshal(data, &wc); err != nil {
+		return fmt.Errorf("translog client: cosign conflict undecodable: %w", err)
+	}
+	return wc.toError()
+}
+
 // GossipHandler serves a witness's side of head gossip. GET returns the
 // witness's last-accepted head; POST receives a peer's head, merges it,
 // and answers with our own — or with 409 plus the two-signed-head
@@ -326,8 +465,7 @@ func (wc wireConflict) toError() *ConflictError {
 func GossipHandler(p *GossipPool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+pathGossip, func(w http.ResponseWriter, r *http.Request) {
-		last, seen := p.Witness().Last()
-		writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
+		writeJSON(w, p.localView())
 	})
 	mux.HandleFunc("POST "+pathGossip, func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -342,21 +480,80 @@ func GossipHandler(p *GossipPool) http.Handler {
 		}
 		if !in.Seen {
 			// The peer has nothing to offer; just answer with our view.
-			last, seen := p.Witness().Last()
-			writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
+			writeJSON(w, p.localView())
 			return
 		}
-		last, seen, err := p.ReceiveHead(in.Head)
+		out, err := p.receiveView(in)
 		var ce *ConflictError
 		switch {
 		case err == nil:
-			writeJSON(w, wireGossip{Name: p.Name(), Seen: seen, Head: last})
+			writeJSON(w, out)
 		case errors.As(err, &ce):
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusConflict)
 			json.NewEncoder(w).Encode(ce)
 		case errors.Is(err, ErrBadSTH):
 			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// CosignHandler serves the co-signing side of the quorum protocol.
+// POST /translog/v1/cosign receives one witness co-signature; forged,
+// replayed, duplicate or out-of-roster signatures are refused with 400
+// and a machine-readable code, while evidence-grade failures — the
+// collector observing two signed heads at one size, or the submitting
+// witness equivocating — come back as 409 with the self-verifying
+// evidence attached. GET /translog/v1/cosigned serves the newest quorum
+// co-signed head, or 404 while quorum is outstanding.
+func CosignHandler(col *CosignCollector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+pathCosign, func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		var in wireCosign
+		if err := json.Unmarshal(body, &in); err != nil {
+			http.Error(w, "malformed cosign", http.StatusBadRequest)
+			return
+		}
+		count, err := col.Submit(in.STH, in.Sig)
+		var ee *EquivocationError
+		var ce *ConflictError
+		switch {
+		case err == nil:
+			writeJSON(w, wireCosignAck{Count: count, Quorum: col.Quorum()})
+		case errors.As(err, &ee):
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(wireEquivocation{Kind: equivocationKind, Witness: ee.Witness, A: ee.A, B: ee.B})
+		case errors.As(err, &ce):
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(ce)
+		default:
+			if code, ok := cosignRejectCode(err); ok {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(wireCosignReject{Code: code, Error: err.Error()})
+				return
+			}
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET "+pathCosigned, func(w http.ResponseWriter, r *http.Request) {
+		ch, err := col.Cosigned()
+		switch {
+		case err == nil:
+			w.Header().Set("Cache-Control", cacheNoCache)
+			writeJSON(w, ch)
+		case errors.Is(err, ErrQuorumNotReached):
+			http.Error(w, err.Error(), http.StatusNotFound)
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
@@ -666,35 +863,46 @@ func (c *Client) AppendSTH(batch []Entry) (SignedTreeHead, error) {
 // own): it comes back as the *ConflictError it is, both signed heads
 // attached.
 func (c *Client) ExchangeGossip(name string, head SignedTreeHead, seen bool) (SignedTreeHead, bool, error) {
-	body, err := json.Marshal(wireGossip{Name: name, Seen: seen, Head: head})
+	out, err := c.exchangeView(wireGossip{Name: name, Seen: seen, Head: head})
 	if err != nil {
 		return SignedTreeHead{}, false, err
 	}
+	return out.Head, out.Seen, nil
+}
+
+// exchangeView is the full gossip exchange: the head plus, between
+// partitioned witnesses, the shard audit marks. ExchangeGossip is the
+// head-only wrapper kept for unpartitioned pools.
+func (c *Client) exchangeView(v wireGossip) (wireGossip, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return wireGossip{}, err
+	}
 	resp, err := c.http.Post(c.base+pathGossip, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: %w", err)
+		return wireGossip{}, fmt.Errorf("translog client: gossip: %w", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return SignedTreeHead{}, false, err
+		return wireGossip{}, err
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var out wireGossip
 		if err := json.Unmarshal(data, &out); err != nil {
-			return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: %w", err)
+			return wireGossip{}, fmt.Errorf("translog client: gossip: %w", err)
 		}
 		if out.Seen && c.pub != nil {
 			if err := out.Head.Verify(c.pub); err != nil {
-				return SignedTreeHead{}, false, err
+				return wireGossip{}, err
 			}
 		}
-		return out.Head, out.Seen, nil
+		return out, nil
 	case http.StatusConflict:
 		var wc wireConflict
 		if err := json.Unmarshal(data, &wc); err != nil {
-			return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip conflict undecodable: %w", err)
+			return wireGossip{}, fmt.Errorf("translog client: gossip conflict undecodable: %w", err)
 		}
 		ce := wc.toError()
 		if c.pub != nil {
@@ -703,13 +911,101 @@ func (c *Client) ExchangeGossip(name string, head SignedTreeHead, seen bool) (Si
 			// fabricate 409s and turn the alarm channel into a kill
 			// switch for honest witnesses.
 			if err := ce.Verify(c.pub); err != nil {
-				return SignedTreeHead{}, false, fmt.Errorf("translog client: peer sent conviction with unverifiable evidence: %w", err)
+				return wireGossip{}, fmt.Errorf("translog client: peer sent conviction with unverifiable evidence: %w", err)
 			}
 		}
-		return SignedTreeHead{}, false, ce
+		return wireGossip{}, ce
 	default:
-		return SignedTreeHead{}, false, fmt.Errorf("translog client: gossip: status %d: %s",
+		return wireGossip{}, fmt.Errorf("translog client: gossip: status %d: %s",
 			resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+}
+
+// ShardStream fetches shard s's stream slice [start, start+count) and
+// the stream's total length — the remote half of ShardAuditSource. The
+// elements carry no signatures; each is believed only through the
+// inclusion proof the auditing witness folds it into.
+func (c *Client) ShardStream(shard int, start, count uint64) (uint64, []IndexedEntry, error) {
+	var out wireShardStream
+	if err := c.get(fmt.Sprintf("%s?shard=%d&start=%d&count=%d", pathShard, shard, start, count), &out); err != nil {
+		return 0, nil, err
+	}
+	return out.Total, out.Entries, nil
+}
+
+// SubmitCosign posts one witness co-signature over a served head to the
+// log server's collector and returns the number of distinct signatures
+// the collector now holds at that size. Rejections come back as the
+// errors.Is-able verdicts the collector raised: ErrCosignInvalid,
+// ErrUnknownWitness, ErrDuplicateWitness, a *ConflictError (the server
+// observed two signed heads at one size), or a self-verifying
+// *EquivocationError naming this witness.
+func (c *Client) SubmitCosign(sth SignedTreeHead, ws WitnessSignature) (int, error) {
+	body, err := json.Marshal(wireCosign{STH: sth, Sig: ws})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.http.Post(c.base+pathCosign, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("translog client: cosign: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ack wireCosignAck
+		if err := json.Unmarshal(data, &ack); err != nil {
+			return 0, fmt.Errorf("translog client: cosign ack: %w", err)
+		}
+		return ack.Count, nil
+	case http.StatusConflict:
+		return 0, decodeCosignConflict(data)
+	case http.StatusBadRequest:
+		var rej wireCosignReject
+		if err := json.Unmarshal(data, &rej); err != nil {
+			return 0, fmt.Errorf("translog client: cosign rejected: %s", strings.TrimSpace(string(data)))
+		}
+		return 0, rej.toError()
+	default:
+		return 0, fmt.Errorf("translog client: cosign: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+}
+
+// Cosigned fetches the newest quorum co-signed head (a CosignSource). A
+// collector that has not yet reached quorum answers 404, surfaced as the
+// ErrQuorumNotReached it is. The head's log signature is checked when a
+// key is held; the witness signature set is the caller's to verify
+// against its pinned roster — the server is exactly the party a quorum
+// artifact must not be taken on faith from.
+func (c *Client) Cosigned() (*CosignedHead, error) {
+	resp, err := c.http.Get(c.base + pathCosigned)
+	if err != nil {
+		return nil, fmt.Errorf("translog client: cosigned: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ch CosignedHead
+		if err := json.Unmarshal(data, &ch); err != nil {
+			return nil, fmt.Errorf("translog client: cosigned: %w", err)
+		}
+		if c.pub != nil {
+			if err := ch.STH.Verify(c.pub); err != nil {
+				return nil, err
+			}
+		}
+		return &ch, nil
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrQuorumNotReached, strings.TrimSpace(string(data)))
+	default:
+		return nil, fmt.Errorf("translog client: cosigned: status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 	}
 }
 

@@ -169,6 +169,13 @@ type Log struct {
 	// shardScratch is the reusable host→shard routing buffer for sharded
 	// stores, guarded by mu like every commit-path structure.
 	shardScratch []int
+	// shardStreams/shardIdx, when enabled (EnableShardStreams), maintain
+	// the per-shard view of the committed sequence: shardIdx[s] lists the
+	// global indices of shard s's entries in commit order — what the
+	// partitioned witness audit reads so a witness assigned shard s never
+	// scans the other shards' entries. Guarded by mu.
+	shardStreams int
+	shardIdx     [][]uint64
 
 	// frozenRoot is the checkpoint's root over the cold prefix — what a
 	// lazy hydration of the archived entries must reproduce
@@ -468,6 +475,10 @@ func (l *Log) withHydration(fn func() error) error {
 // indexEntry maintains the serial-keyed lookup maps for one committed
 // entry. Callers hold l.mu (or own the log exclusively during recovery).
 func (l *Log) indexEntry(e Entry, idx uint64) {
+	if l.shardStreams > 0 {
+		s := ShardOf(e.Host, l.shardStreams)
+		l.shardIdx[s] = append(l.shardIdx[s], idx)
+	}
 	if e.Serial == "" {
 		return
 	}

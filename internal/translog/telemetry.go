@@ -114,6 +114,16 @@ var (
 	convictionHelp = "Conflict verdicts raised or corroborated, labelled by kind."
 	mConvRollback  = obsReg.Counter("translog_witness_convictions_total", convictionHelp, "kind", "rollback")
 	mConvSplitView = obsReg.Counter("translog_witness_convictions_total", convictionHelp, "kind", "split-view")
+
+	// Partitioned witnessing and quorum co-signing.
+	mWitnessAssignedShards = obsReg.Gauge("translog_witness_assigned_shards",
+		"Shard streams this witness is assigned to audit (0: unpartitioned, auditing nothing shard-wise).")
+	mCosignSeconds = obsReg.Histogram("translog_cosign_seconds",
+		"Latency of one witness co-sign round: shard audit through signature submission.")
+	mCosignSignatures = obsReg.Counter("translog_cosign_signatures_total",
+		"Witness co-signatures the collector accepted.")
+	mCosignQuorumFailures = obsReg.Counter("translog_cosign_quorum_failures_total",
+		"Tree sizes abandoned without reaching the co-signature quorum (evicted or superseded).")
 )
 
 // convictionCounter picks the series for a conflict verdict.

@@ -2,9 +2,13 @@ package translog
 
 import (
 	"crypto/ecdsa"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -106,6 +110,31 @@ type Witness struct {
 	// save, when set (OpenWitnessState), persists every newly accepted
 	// head so a witness restart is not amnesia.
 	save func(SignedTreeHead) error
+
+	// Partitioned-audit state (SetAssignedShards): the shard slice this
+	// witness verifies entry-by-entry, and a chained-hash cursor per
+	// assigned shard recording exactly which stream prefix it audited
+	// under which head. Cursors are what turn a single-shard rewind —
+	// invisible in head size alone once the log regrows — into a
+	// conviction by an assigned witness, and what two overlapping
+	// witnesses compare during gossip to catch per-shard split views.
+	shards      int
+	assigned    []int
+	assignedSet map[int]bool
+	cursors     map[int]*shardCursor
+	// saveCursors, when set, persists the marshalled cursor state so a
+	// witness restart is not shard-audit amnesia.
+	saveCursors func([]byte) error
+}
+
+// shardCursor is one assigned shard's audit progress: how many stream
+// entries were verified, the chained mark over them (position, global
+// index and leaf hash all folded in), and the served head they were
+// last verified against — the "have" side of any shard-level evidence.
+type shardCursor struct {
+	Count uint64         `json:"count"`
+	Mark  Hash           `json:"mark"`
+	Head  SignedTreeHead `json:"head"`
 }
 
 // NewWitness creates a witness verifying heads against the log public key
@@ -295,4 +324,267 @@ func (w *Witness) mergeVerified(sth SignedTreeHead, fetchConsistency func(first,
 		}
 		w.mu.Unlock()
 	}
+}
+
+// ---- partitioned shard audit ----------------------------------------------
+
+// shardMarkPrefix domain-separates the audit-cursor chain hash.
+const shardMarkPrefix = "vnfguard-translog-shardmark-v1"
+
+// chainMark extends a shard cursor's chained hash with one verified
+// stream element: the position pins ordering, the global index pins the
+// stream-to-tree mapping, and the leaf hash pins the entry bytes. Two
+// witnesses that audited the same prefix of the same served stream hold
+// the same mark; any substitution, reordering or divergent serving
+// forks the chains forever.
+func chainMark(prev Hash, pos, index uint64, leaf Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte(shardMarkPrefix))
+	h.Write(prev[:])
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], pos)
+	h.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], index)
+	h.Write(u64[:])
+	h.Write(leaf[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SetAssignedShards configures the witness's slice of the partition:
+// the total shard count and the sorted shard list this witness audits.
+// Cursors for shards no longer assigned are kept — reassignment must
+// not amnesia away audited history — but only assigned shards are
+// audited and judged from now on.
+func (w *Witness) SetAssignedShards(total int, assigned []int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shards = total
+	w.assigned = append([]int(nil), assigned...)
+	sort.Ints(w.assigned)
+	w.assignedSet = make(map[int]bool, len(assigned))
+	for _, s := range w.assigned {
+		w.assignedSet[s] = true
+	}
+	if w.cursors == nil {
+		w.cursors = make(map[int]*shardCursor, len(assigned))
+	}
+	mWitnessAssignedShards.Set(int64(len(w.assigned)))
+}
+
+// AssignedShards returns the sorted shard list this witness audits
+// (nil: partitioning off, the witness follows the whole fleet).
+func (w *Witness) AssignedShards() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.assigned...)
+}
+
+// snapshotCursorsLocked marshals the cursor state for persistence.
+func (w *Witness) snapshotCursorsLocked() ([]byte, error) {
+	out := make(map[string]*shardCursor, len(w.cursors))
+	for s, cur := range w.cursors {
+		out[strconv.Itoa(s)] = cur
+	}
+	return json.Marshal(out)
+}
+
+// restoreCursors seeds the audit cursors from persisted state. Each
+// cursor's head is signature-checked — a tampered cursor file must not
+// plant false audit history — and a cursor never moves backwards.
+func (w *Witness) restoreCursors(data []byte) error {
+	var in map[string]*shardCursor
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("translog: persisted shard cursors undecodable: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cursors == nil {
+		w.cursors = make(map[int]*shardCursor, len(in))
+	}
+	for key, cur := range in {
+		s, err := strconv.Atoi(key)
+		if err != nil || cur == nil {
+			return fmt.Errorf("translog: persisted shard cursors undecodable: bad shard key %q", key)
+		}
+		if cur.Count > 0 {
+			if err := cur.Head.Verify(w.pub); err != nil {
+				return fmt.Errorf("translog: persisted cursor for shard %d: %w", s, err)
+			}
+		}
+		if have := w.cursors[s]; have == nil || cur.Count > have.Count {
+			w.cursors[s] = cur
+		}
+	}
+	return nil
+}
+
+// persistCursors snapshots and saves the cursor state (no-op without a
+// persistence hook). The snapshot is taken under the lock; the write
+// happens outside it, so a slow disk never blocks the audit path.
+func (w *Witness) persistCursors() error {
+	w.mu.Lock()
+	save := w.saveCursors
+	if save == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	data, err := w.snapshotCursorsLocked()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := save(data); err != nil {
+		return fmt.Errorf("translog: persisting shard cursors: %w", err)
+	}
+	return nil
+}
+
+// AuditShards verifies the witness's assigned shard streams against the
+// served head: every not-yet-audited stream element (up to maxPerShard
+// per shard per call, 0 for unlimited) is fetched, leaf-hashed and
+// inclusion-proven into the served head, then folded into the shard's
+// chained cursor. A stream that regressed below an audited cursor is a
+// rollback conviction; an element that fails inclusion is a split-view
+// conviction — in both cases the evidence pairs the cursor's recorded
+// head with the served one. This is the whole per-witness audit cost,
+// proportional to the assigned slice, not the fleet (BenchmarkE20).
+func (w *Witness) AuditShards(served SignedTreeHead, src ShardAuditSource, maxPerShard uint64) error {
+	if err := served.Verify(w.pub); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	assigned := append([]int(nil), w.assigned...)
+	w.mu.Unlock()
+	var errs []error
+	changed := false
+	for _, s := range assigned {
+		adv, err := w.auditShard(s, served, src, maxPerShard)
+		changed = changed || adv
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if changed {
+		if err := w.persistCursors(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// auditShard advances one shard's cursor against the served head,
+// reporting whether the cursor moved.
+func (w *Witness) auditShard(shard int, served SignedTreeHead, src ShardAuditSource, maxPerShard uint64) (bool, error) {
+	w.mu.Lock()
+	cur := w.cursors[shard]
+	if cur == nil {
+		cur = &shardCursor{}
+		w.cursors[shard] = cur
+	}
+	start, mark, lastHead := cur.Count, cur.Mark, cur.Head
+	w.mu.Unlock()
+	if maxPerShard == 0 {
+		maxPerShard = ^uint64(0) - start
+	}
+	total, ents, err := src.ShardStream(shard, start, maxPerShard)
+	if err != nil {
+		return false, fmt.Errorf("translog: reading shard %d stream: %w", shard, err)
+	}
+	if total < start {
+		have := lastHead
+		if start == 0 {
+			have = served
+		}
+		return false, &ConflictError{Kind: ErrRollback, Have: have, Got: served,
+			Detail: fmt.Sprintf("shard %d stream regressed from %d audited to %d served entries", shard, start, total)}
+	}
+	pos := start
+	for _, ie := range ents {
+		if ie.Index >= served.Size {
+			// Beyond the head we verified: audit it next round, once a
+			// head covering it has been advanced to.
+			break
+		}
+		leaf := LeafHash(ie.Canonical)
+		proof, err := src.InclusionProof(ie.Index, served.Size)
+		if err != nil {
+			// Transport degradation: the cursor stays where it is and the
+			// next round retries from the same position.
+			return pos > start, fmt.Errorf("translog: proving shard %d stream position %d: %w", shard, pos, err)
+		}
+		if err := VerifyInclusion(leaf, ie.Index, served.Size, proof, served.RootHash); err != nil {
+			have := lastHead
+			if start == 0 {
+				have = served
+			}
+			return pos > start, &ConflictError{Kind: ErrSplitView, Have: have, Got: served,
+				Detail: fmt.Sprintf("shard %d stream position %d (index %d) fails inclusion against the served head at size %d",
+					shard, pos, ie.Index, served.Size)}
+		}
+		mark = chainMark(mark, pos, ie.Index, leaf)
+		pos++
+	}
+	if pos == start {
+		return false, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if cur.Count != start {
+		// A concurrent audit advanced this shard meanwhile; its chain is
+		// as valid as ours and already recorded — keep it.
+		return false, nil
+	}
+	cur.Count, cur.Mark, cur.Head = pos, mark, served
+	return true, nil
+}
+
+// shardMarks snapshots the audited cursors for the gossip wire: only
+// shards actually audited (count > 0) travel — an empty cursor says
+// nothing and must not be mistaken for testimony.
+func (w *Witness) shardMarks() []wireShardMark {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]wireShardMark, 0, len(w.cursors))
+	for s, cur := range w.cursors {
+		if cur.Count > 0 {
+			out = append(out, wireShardMark{Shard: s, Count: cur.Count, Mark: cur.Mark})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
+// mergeShardMarks compares a peer witness's audit cursors with ours —
+// the partition-aware half of gossip. Only shards both witnesses
+// audited to the same depth are comparable: a peer with no mark for a
+// shard is legitimately ignorant of it (it is not assigned the shard,
+// or has not audited it yet), and a peer at a different count is merely
+// ahead or behind — neither is evidence of anything. Equal count with a
+// different mark is: both witnesses verified the same stream prefix
+// element-by-element against log-signed heads and ended with different
+// chains, so the log served diverging shard streams — a split view
+// scoped to one shard, invisible to head comparison alone.
+func (w *Witness) mergeShardMarks(peerName string, peerHead SignedTreeHead, marks []wireShardMark) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, m := range marks {
+		if !w.assignedSet[m.Shard] {
+			continue // outside our slice: we hold no first-hand chain to judge with
+		}
+		cur := w.cursors[m.Shard]
+		if cur == nil || cur.Count == 0 || m.Count == 0 {
+			continue // one side is ignorant, not conflicting
+		}
+		if m.Count != cur.Count {
+			continue // different audit depth: chains are not comparable
+		}
+		if m.Mark != cur.Mark {
+			return &ConflictError{Kind: ErrSplitView, Have: cur.Head, Got: peerHead,
+				Detail: fmt.Sprintf("witness %q audited shard %d to %d entries with a different stream digest than ours",
+					peerName, m.Shard, m.Count)}
+		}
+	}
+	return nil
 }
